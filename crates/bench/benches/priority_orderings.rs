@@ -1,0 +1,51 @@
+//! Criterion bench behind Figure 4 (execution orderings): serial grid
+//! execution under the column-major, level-set and FIFO priorities. The
+//! priorities differ in peak edge memory (see `figures e2`); this bench
+//! tracks their scheduler overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpgen_core::Program;
+use dpgen_runtime::{run_shared, Probe, TilePriority};
+use dpgen_tiling::tiling::CellRef;
+
+fn kernel(cell: CellRef<'_>, values: &mut [u64]) {
+    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
+    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    values[cell.loc] = a.wrapping_add(b);
+}
+
+fn bench_priorities(c: &mut Criterion) {
+    let program = Program::parse(
+        "name grid\nvars x y\nparams N\n\
+         constraint 0 <= x <= N\nconstraint 0 <= y <= N\n\
+         template r1 1 0\ntemplate r2 0 1\n\
+         order x y\nloadbalance x\nwidths 4 4\n",
+    )
+    .unwrap();
+    let n = 63i64; // 16x16 tiles
+
+    let mut group = c.benchmark_group("fig4_priorities");
+    group.sample_size(10);
+    for (name, priority) in [
+        ("column_major", TilePriority::column_major(2)),
+        ("level_set", TilePriority::LevelSet),
+        ("fifo", TilePriority::Fifo),
+    ] {
+        group.bench_with_input(BenchmarkId::new("serial", name), &priority, |b, p| {
+            b.iter(|| {
+                run_shared::<u64, _>(
+                    program.tiling(),
+                    &[n],
+                    &kernel,
+                    &Probe::default(),
+                    1,
+                    p.clone(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_priorities);
+criterion_main!(benches);

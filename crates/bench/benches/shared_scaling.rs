@@ -1,0 +1,52 @@
+//! Criterion bench behind Figure 6 (shared-memory scaling): real tiled
+//! runs of the 2-arm bandit at several worker counts, plus the calibrated
+//! simulation that produces the figure's series.
+//!
+//! On a single-core host the real-run times coincide; the simulated
+//! makespans still separate (see `figures e4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpgen_des::{simulate, SimConfig};
+use dpgen_problems::Bandit2;
+use dpgen_runtime::{Probe, SingleOwner};
+
+fn bench_shared(c: &mut Criterion) {
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let program = Bandit2::program(6).unwrap();
+    let n = 20i64;
+
+    let mut group = c.benchmark_group("fig6_shared_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("real_run", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    program.run_shared::<f64, _>(
+                        &[n],
+                        &kernel,
+                        &Probe::at(&[0, 0, 0, 0]),
+                        threads,
+                    )
+                })
+            },
+        );
+    }
+    for threads in [1usize, 8, 24] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", threads),
+            &threads,
+            |b, &threads| {
+                let tiling = program.tiling();
+                let config = SimConfig::shared(threads, 4);
+                b.iter(|| simulate(tiling, &[n], &SingleOwner, &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared);
+criterion_main!(benches);

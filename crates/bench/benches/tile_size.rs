@@ -1,0 +1,28 @@
+//! Criterion bench behind the Section VI-C tile-size sweep: serial tiled
+//! execution of the 2-arm bandit at several tile widths. Width affects the
+//! tile count, scheduler traffic and edge packing volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpgen_problems::Bandit2;
+use dpgen_runtime::Probe;
+
+fn bench_tile_size(c: &mut Criterion) {
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let n = 24i64;
+
+    let mut group = c.benchmark_group("sec6c_tile_size");
+    group.sample_size(10);
+    for width in [2i64, 4, 8, 12] {
+        let program = Bandit2::program(width).unwrap();
+        group.bench_with_input(BenchmarkId::new("serial", width), &width, |b, _| {
+            b.iter(|| {
+                program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_size);
+criterion_main!(benches);

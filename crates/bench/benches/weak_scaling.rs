@@ -1,0 +1,35 @@
+//! Criterion bench behind Figure 7 (weak scaling across MPI): real hybrid
+//! runs through the simulated-MPI transport at several rank counts, with
+//! the problem size scaled to hold per-rank work constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpgen_problems::Bandit2;
+use dpgen_runtime::Probe;
+
+fn bench_weak(c: &mut Criterion) {
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let program = Bandit2::program(4).unwrap();
+
+    let mut group = c.benchmark_group("fig7_weak_scaling");
+    group.sample_size(10);
+    for ranks in [1usize, 2, 4] {
+        // cells ~ N^4: scale N by ranks^(1/4) from a base of 14.
+        let n = (14.0 * (ranks as f64).powf(0.25)).round() as i64;
+        group.bench_with_input(BenchmarkId::new("hybrid", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                program.run_hybrid::<f64, _>(
+                    &[n],
+                    &kernel,
+                    &Probe::at(&[0, 0, 0, 0]),
+                    ranks,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak);
+criterion_main!(benches);

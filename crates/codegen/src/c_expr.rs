@@ -1,0 +1,138 @@
+//! Rendering affine expressions and loop bounds as C.
+
+use dpgen_polyhedra::{BoundExpr, LinExpr, Space};
+
+/// Render an affine expression as a C integer expression, e.g.
+/// `2*x - y + N + 3`. The empty sum renders as `0`.
+pub fn c_lin_expr(expr: &LinExpr, space: &Space) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (i, &c) in expr.coeffs().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let name = space.name(i);
+        if first {
+            match c {
+                1 => out.push_str(name),
+                -1 => {
+                    out.push('-');
+                    out.push_str(name);
+                }
+                _ => out.push_str(&format!("{c}*{name}")),
+            }
+            first = false;
+        } else if c > 0 {
+            if c == 1 {
+                out.push_str(&format!(" + {name}"));
+            } else {
+                out.push_str(&format!(" + {c}*{name}"));
+            }
+        } else if c == -1 {
+            out.push_str(&format!(" - {name}"));
+        } else {
+            out.push_str(&format!(" - {}*{name}", -c));
+        }
+    }
+    let k = expr.constant_term();
+    if first {
+        out.push_str(&k.to_string());
+    } else if k > 0 {
+        out.push_str(&format!(" + {k}"));
+    } else if k < 0 {
+        out.push_str(&format!(" - {}", -k));
+    }
+    out
+}
+
+/// Render one bound as a C expression using the `CEIL_DIV`/`FLOOR_DIV`
+/// helper macros the emitted program defines (exact integer division with
+/// rounding toward ±infinity, matching the runtime's semantics).
+pub fn c_bound_expr(bound: &BoundExpr, space: &Space, lower: bool) -> String {
+    let numer = c_lin_expr(&bound.expr, space);
+    if bound.divisor == 1 {
+        if numer.contains(' ') {
+            format!("({numer})")
+        } else {
+            numer
+        }
+    } else if lower {
+        format!("CEIL_DIV({numer}, {})", bound.divisor)
+    } else {
+        format!("FLOOR_DIV({numer}, {})", bound.divisor)
+    }
+}
+
+/// Fold several bound expressions with `max(...)` (lower bounds) or
+/// `min(...)` (upper bounds), as FM-generated loop nests do.
+pub fn c_bound_set(bounds: &[BoundExpr], space: &Space, lower: bool) -> String {
+    let rendered: Vec<String> = bounds
+        .iter()
+        .map(|b| c_bound_expr(b, space, lower))
+        .collect();
+    let f = if lower { "DP_MAX" } else { "DP_MIN" };
+    let mut out = rendered[0].clone();
+    for r in &rendered[1..] {
+        out = format!("{f}({out}, {r})");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::Space;
+
+    fn space() -> Space {
+        Space::from_names(&["x", "y"], &["N"]).unwrap()
+    }
+
+    #[test]
+    fn lin_expr_rendering() {
+        let s = space();
+        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![2, -1, 1], 3), &s), "2*x - y + N + 3");
+        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![-1, 0, 0], 0), &s), "-x");
+        assert_eq!(c_lin_expr(&LinExpr::constant(3, -4), &s), "-4");
+        assert_eq!(c_lin_expr(&LinExpr::zero(3), &s), "0");
+        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![1, 0, 0], -2), &s), "x - 2");
+    }
+
+    #[test]
+    fn bound_rendering_uses_div_macros() {
+        let s = space();
+        let b = BoundExpr {
+            expr: LinExpr::from_parts(vec![0, 0, 1], -1),
+            divisor: 2,
+        };
+        assert_eq!(c_bound_expr(&b, &s, true), "CEIL_DIV(N - 1, 2)");
+        assert_eq!(c_bound_expr(&b, &s, false), "FLOOR_DIV(N - 1, 2)");
+        let unit = BoundExpr {
+            expr: LinExpr::from_parts(vec![0, 0, 1], 0),
+            divisor: 1,
+        };
+        assert_eq!(c_bound_expr(&unit, &s, true), "N");
+        let unit2 = BoundExpr {
+            expr: LinExpr::from_parts(vec![1, 0, 1], 0),
+            divisor: 1,
+        };
+        assert_eq!(c_bound_expr(&unit2, &s, false), "(x + N)");
+    }
+
+    #[test]
+    fn bound_sets_fold_with_max_min() {
+        let s = space();
+        let a = BoundExpr {
+            expr: LinExpr::zero(3),
+            divisor: 1,
+        };
+        let b = BoundExpr {
+            expr: LinExpr::from_parts(vec![0, 0, 1], 0),
+            divisor: 2,
+        };
+        assert_eq!(c_bound_set(&[a.clone()], &s, true), "0");
+        assert_eq!(
+            c_bound_set(&[a, b], &s, true),
+            "DP_MAX(0, CEIL_DIV(N, 2))"
+        );
+    }
+}

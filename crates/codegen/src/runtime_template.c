@@ -1,0 +1,261 @@
+/* ------------------------------------------------------------------ */
+/* Pre-written runtime scaffold: scheduler structures, OpenMP worker   */
+/* loop, MPI edge exchange. Shared by every generated program; only    */
+/* the problem-specific functions above differ.                        */
+/* ------------------------------------------------------------------ */
+
+/* A pending tile: edges buffered until all dependencies arrive. Only
+ * pending tiles are stored; full tile buffers exist only while a tile
+ * executes. A production build replaces the linear probe with a hash
+ * table; the structure is what matters here. */
+typedef struct {
+    long tile[NDIMS];
+    int in_use;
+    int total_deps;
+    int have_deps;
+    dp_value_t* edges[NDEPS > 0 ? NDEPS : 1];
+    long edge_len[NDEPS > 0 ? NDEPS : 1];
+    int edge_dep[NDEPS > 0 ? NDEPS : 1];
+} dp_pending_t;
+
+#define DP_PENDING_CAP 65536
+static dp_pending_t dp_pending[DP_PENDING_CAP];
+static long dp_npending;
+
+/* Ready queue: tiles whose dependencies are all satisfied, ordered by
+ * the generated dp_tile_before priority - column-major with the
+ * load-balancing dimensions most significant. */
+typedef struct {
+    long tile[NDIMS];
+    int pending_slot;
+} dp_ready_t;
+#define DP_READY_CAP 65536
+static dp_ready_t dp_ready[DP_READY_CAP];
+static long dp_nready;
+
+static long dp_tiles_owned;
+static long dp_tiles_done;
+static dp_value_t dp_checksum;
+static omp_lock_t dp_sched_lock;
+
+static int dp_tile_eq(const long* a, const long* b) {
+    for (int k = 0; k < NDIMS; k++) if (a[k] != b[k]) return 0;
+    return 1;
+}
+
+static int dp_total_deps(const long t[NDIMS]) {
+    int total = 0;
+    for (int e = 0; e < NDEPS; e++) {
+        long n[NDIMS];
+        for (int k = 0; k < NDIMS; k++) n[k] = t[k] + dp_dep_delta[e][k];
+        if (tile_in_space(n)) total++;
+    }
+    return total;
+}
+
+static int dp_find_or_create_pending(const long t[NDIMS]) {
+    for (long s = 0; s < dp_npending; s++)
+        if (dp_pending[s].in_use && dp_tile_eq(dp_pending[s].tile, t)) return (int)s;
+    assert(dp_npending < DP_PENDING_CAP);
+    int s = (int)dp_npending++;
+    memcpy(dp_pending[s].tile, t, sizeof(long) * NDIMS);
+    dp_pending[s].in_use = 1;
+    dp_pending[s].total_deps = dp_total_deps(t);
+    dp_pending[s].have_deps = 0;
+    return s;
+}
+
+static void dp_push_ready(const long t[NDIMS], int pending_slot) {
+    assert(dp_nready < DP_READY_CAP);
+    memcpy(dp_ready[dp_nready].tile, t, sizeof(long) * NDIMS);
+    dp_ready[dp_nready].pending_slot = pending_slot;
+    dp_nready++;
+}
+
+/* Pop the highest-priority ready tile per the generated comparison. */
+static int dp_pop_ready(long t_out[NDIMS], int* slot_out) {
+    if (dp_nready == 0) return 0;
+    long best = 0;
+    for (long i = 1; i < dp_nready; i++)
+        if (dp_tile_before(dp_ready[i].tile, dp_ready[best].tile)) best = i;
+    memcpy(t_out, dp_ready[best].tile, sizeof(long) * NDIMS);
+    *slot_out = dp_ready[best].pending_slot;
+    dp_ready[best] = dp_ready[dp_nready - 1];
+    dp_nready--;
+    return 1;
+}
+
+/* Deliver one edge; returns 1 when the tile became ready. */
+static int dp_deliver_edge(const long t[NDIMS], int dep, dp_value_t* data, long len) {
+    int s = dp_find_or_create_pending(t);
+    int i = dp_pending[s].have_deps++;
+    dp_pending[s].edges[i] = data;
+    dp_pending[s].edge_len[i] = len;
+    dp_pending[s].edge_dep[i] = dep;
+    if (dp_pending[s].have_deps == dp_pending[s].total_deps) {
+        dp_push_ready(t, s);
+        return 1;
+    }
+    return 0;
+}
+
+/* Cumulative work before `t` in the scan order: the quantity the paper
+ * evaluates with its first Ehrhart polynomial. This reference version
+ * rescans; production code memoises per slab at startup. */
+typedef struct {
+    const long* target;
+    long sum;
+    int done;
+} dp_prefix_ctx;
+
+static void dp_prefix_visit(const long t[NDIMS], void* vctx) {
+    dp_prefix_ctx* ctx = (dp_prefix_ctx*)vctx;
+    if (ctx->done) return;
+    if (dp_tile_eq(t, ctx->target)) { ctx->done = 1; return; }
+    ctx->sum += tile_work(t);
+}
+
+static long dp_work_before(const long t[NDIMS]) {
+    dp_prefix_ctx ctx;
+    ctx.target = t;
+    ctx.sum = 0;
+    ctx.done = 0;
+    dp_scan_tiles(dp_prefix_visit, &ctx);
+    return ctx.sum;
+}
+
+/* MPI edge exchange: edges are framed as [tile | dep | len | payload]. */
+static void dp_send_edge(int dest, const long t[NDIMS], int dep,
+                         const dp_value_t* data, long len) {
+    long header[NDIMS + 2];
+    memcpy(header, t, sizeof(long) * NDIMS);
+    header[NDIMS] = dep;
+    header[NDIMS + 1] = len;
+    MPI_Request reqs[2];
+    MPI_Isend(header, NDIMS + 2, MPI_LONG, dest, 0, MPI_COMM_WORLD, &reqs[0]);
+    MPI_Isend((void*)data, (int)(len * (long)sizeof(dp_value_t)), MPI_BYTE,
+              dest, 1, MPI_COMM_WORLD, &reqs[1]);
+    MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE);
+}
+
+static int dp_poll_edges(void) {
+    int flag = 0;
+    MPI_Status st;
+    MPI_Iprobe(MPI_ANY_SOURCE, 0, MPI_COMM_WORLD, &flag, &st);
+    if (!flag) return 0;
+    long header[NDIMS + 2];
+    MPI_Recv(header, NDIMS + 2, MPI_LONG, st.MPI_SOURCE, 0, MPI_COMM_WORLD,
+             MPI_STATUS_IGNORE);
+    long len = header[NDIMS + 1];
+    dp_value_t* data = (dp_value_t*)malloc(sizeof(dp_value_t) * (size_t)DP_MAX(len, 1));
+    MPI_Recv(data, (int)(len * (long)sizeof(dp_value_t)), MPI_BYTE,
+             st.MPI_SOURCE, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    dp_deliver_edge(header, (int)header[NDIMS], data, len);
+    return 1;
+}
+
+/* Startup: total work, owned-tile count, and initial tile generation
+ * (Section IV-K). Serial; the paper measures this below 0.5% of the
+ * run. */
+static void dp_total_visit(const long t[NDIMS], void* vctx) {
+    (void)vctx;
+    dp_total_work += tile_work(t);
+}
+
+static void dp_seed_visit(const long t[NDIMS], void* vctx) {
+    (void)vctx;
+    if (tile_owner(t) != dp_rank) return;
+    dp_tiles_owned++;
+    if (dp_total_deps(t) == 0) dp_push_ready(t, -1);
+}
+
+static void dp_startup(void) {
+    dp_init_tables();
+    dp_total_work = 0;
+    dp_scan_tiles(dp_total_visit, 0);
+    dp_scan_tiles(dp_seed_visit, 0);
+}
+
+/* One worker: steps 1-6 of the Section V-A loop. */
+static void dp_worker(void) {
+    long t[NDIMS];
+    int slot;
+    dp_value_t* V = (dp_value_t*)malloc(sizeof(dp_value_t) * TILE_BUF_CELLS);
+    for (;;) {
+        if (omp_test_lock(&dp_sched_lock)) {
+            while (dp_poll_edges()) { /* drain incoming edges */ }
+            int got = dp_pop_ready(t, &slot);
+            omp_unset_lock(&dp_sched_lock);
+            if (!got) {
+                long done;
+                #pragma omp atomic read
+                done = dp_tiles_done;
+                if (done >= dp_tiles_owned) break;
+                continue;
+            }
+            /* Unpack buffered edges into ghost cells. */
+            memset(V, 0, sizeof(dp_value_t) * TILE_BUF_CELLS);
+            if (slot >= 0) {
+                for (int i = 0; i < dp_pending[slot].have_deps; i++) {
+                    int dep = dp_pending[slot].edge_dep[i];
+                    long src[NDIMS];
+                    for (int k = 0; k < NDIMS; k++)
+                        src[k] = t[k] + dp_dep_delta[dep][k];
+                    dp_unpack_table[dep](src, V, dp_pending[slot].edges[i]);
+                    free(dp_pending[slot].edges[i]);
+                }
+                dp_pending[slot].in_use = 0;
+            }
+            /* Execute the tile. */
+            execute_tile(t, V);
+            {
+                dp_value_t dp_cs = tile_checksum(t, V);
+                #pragma omp atomic
+                dp_checksum += dp_cs;
+            }
+            /* Pack each valid outgoing edge. */
+            for (int dep = 0; dep < NDEPS; dep++) {
+                long consumer[NDIMS];
+                for (int k = 0; k < NDIMS; k++)
+                    consumer[k] = t[k] - dp_dep_delta[dep][k];
+                if (!tile_in_space(consumer)) continue;
+                dp_value_t* data =
+                    (dp_value_t*)malloc(sizeof(dp_value_t) * TILE_BUF_CELLS);
+                long len = dp_pack_table[dep](t, V, data);
+                int dest = tile_owner(consumer);
+                if (dest == dp_rank) {
+                    omp_set_lock(&dp_sched_lock);
+                    dp_deliver_edge(consumer, dep, data, len);
+                    omp_unset_lock(&dp_sched_lock);
+                } else {
+                    dp_send_edge(dest, consumer, dep, data, len);
+                    free(data);
+                }
+            }
+            #pragma omp atomic
+            dp_tiles_done++;
+        }
+    }
+    free(V);
+}
+
+int main(int argc, char** argv) {
+    MPI_Init(&argc, &argv);
+    MPI_Comm_size(MPI_COMM_WORLD, &dp_nranks);
+    MPI_Comm_rank(MPI_COMM_WORLD, &dp_rank);
+/*@PARSE_PARAMS@*/
+    omp_init_lock(&dp_sched_lock);
+    dp_startup();
+    #pragma omp parallel
+    {
+        dp_worker();
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+    if (dp_rank == 0) {
+        printf("tiles done: %ld\n", dp_tiles_done);
+        printf("checksum: %.10f\n", (double)dp_checksum);
+    }
+    omp_destroy_lock(&dp_sched_lock);
+    MPI_Finalize();
+    return 0;
+}

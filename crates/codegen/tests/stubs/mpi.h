@@ -1,0 +1,35 @@
+/* Minimal single-rank MPI stub: just enough surface for dpgen-generated
+ * programs to compile and run on a machine without an MPI toolchain.
+ * With one rank the generated code never sends, so the communication
+ * entry points only need to exist (see mpi_stub.c). */
+#ifndef DPGEN_STUB_MPI_H
+#define DPGEN_STUB_MPI_H
+
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Request;
+typedef struct {
+    int MPI_SOURCE;
+    int MPI_TAG;
+} MPI_Status;
+
+#define MPI_COMM_WORLD 0
+#define MPI_LONG 1
+#define MPI_BYTE 2
+#define MPI_ANY_SOURCE (-1)
+#define MPI_STATUS_IGNORE ((MPI_Status*)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status*)0)
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* req);
+int MPI_Waitall(int count, MPI_Request* reqs, MPI_Status* statuses);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Finalize(void);
+
+#endif

@@ -1,0 +1,56 @@
+/* Single-rank MPI stub implementation (see mpi.h). */
+#include "mpi.h"
+#include <stdio.h>
+#include <stdlib.h>
+
+int MPI_Init(int* argc, char*** argv) {
+    (void)argc;
+    (void)argv;
+    return 0;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+    (void)comm;
+    *size = 1;
+    return 0;
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+    (void)comm;
+    *rank = 0;
+    return 0;
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype type, int dest,
+              int tag, MPI_Comm comm, MPI_Request* req) {
+    (void)buf; (void)count; (void)type; (void)dest; (void)tag; (void)comm; (void)req;
+    fprintf(stderr, "stub MPI: unexpected send in a single-rank run\n");
+    abort();
+}
+
+int MPI_Waitall(int count, MPI_Request* reqs, MPI_Status* statuses) {
+    (void)count; (void)reqs; (void)statuses;
+    return 0;
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status) {
+    (void)source; (void)tag; (void)comm; (void)status;
+    *flag = 0;
+    return 0;
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype type, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+    (void)buf; (void)count; (void)type; (void)source; (void)tag; (void)comm; (void)status;
+    fprintf(stderr, "stub MPI: unexpected receive in a single-rank run\n");
+    abort();
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+    (void)comm;
+    return 0;
+}
+
+int MPI_Finalize(void) {
+    return 0;
+}

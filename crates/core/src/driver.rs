@@ -1,0 +1,300 @@
+//! The hybrid "OpenMP + MPI" driver.
+//!
+//! Mirrors the structure of the generated program's `main` (Section V-A):
+//! initialise the communication world, run the load balancer, then start one
+//! process per node — here, one thread per simulated rank — each of which
+//! runs the shared-memory node runtime with its own worker pool and
+//! exchanges edges through `dpgen-mpisim`.
+
+use crate::loadbalance::{BalanceMethod, LoadBalance};
+use dpgen_mpisim::{CommConfig, CommStats, CommWorld, Wire};
+use dpgen_runtime::{
+    run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, Reduction, TilePriority, Value,
+};
+use dpgen_tiling::Tiling;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Number of simulated nodes (MPI ranks).
+    pub ranks: usize,
+    /// Worker threads per rank (OpenMP threads per node).
+    pub threads_per_rank: usize,
+    /// Tile priority; `None` uses the paper's default (Figure 5):
+    /// column-major with the load-balancing dimensions first.
+    pub priority: Option<TilePriority>,
+    /// Send/receive buffer counts (Section VI-C tunables).
+    pub comm: CommConfig,
+    /// Partitioning method.
+    pub balance: BalanceMethod,
+}
+
+impl HybridConfig {
+    /// A sensible default: slab balancing over the given dimensions.
+    pub fn new(ranks: usize, threads_per_rank: usize, lb_dims: Vec<usize>) -> HybridConfig {
+        HybridConfig {
+            ranks,
+            threads_per_rank,
+            priority: None,
+            comm: CommConfig::default(),
+            balance: BalanceMethod::Slabs { lb_dims },
+        }
+    }
+}
+
+/// The merged outcome of a hybrid run.
+#[derive(Debug)]
+pub struct HybridResult<T> {
+    /// Probe values merged across ranks (a probe is `None` only if outside
+    /// the iteration space).
+    pub probes: Vec<Option<T>>,
+    /// The merged whole-space reduction, when one was supplied to
+    /// [`run_hybrid_reduce`].
+    pub reduction: Option<T>,
+    /// Per-rank node results.
+    pub per_rank: Vec<NodeResult<T>>,
+    /// Per-rank communication statistics.
+    pub comm_stats: Vec<Arc<CommStats>>,
+    /// The load balance that was used.
+    pub balance: LoadBalance,
+    /// Wall time of the whole hybrid run (including load balancing).
+    pub total_time: Duration,
+    /// Time spent in the load balancer.
+    pub balance_time: Duration,
+}
+
+impl<T> HybridResult<T> {
+    /// Aggregate cells computed across ranks.
+    pub fn cells_computed(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.stats.cells_computed).sum()
+    }
+
+    /// Aggregate remote edges sent.
+    pub fn edges_remote(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.stats.edges_remote).sum()
+    }
+
+    /// Aggregate bytes sent over the simulated interconnect.
+    pub fn bytes_sent(&self) -> u64 {
+        self.comm_stats.iter().map(|s| s.bytes_sent()).sum()
+    }
+}
+
+/// Run the problem on `config.ranks` simulated nodes, each with
+/// `config.threads_per_rank` workers.
+pub fn run_hybrid<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    config: &HybridConfig,
+) -> HybridResult<T>
+where
+    T: Value + Wire,
+    K: Kernel<T>,
+{
+    run_hybrid_reduce(tiling, params, kernel, probe, config, None)
+}
+
+/// [`run_hybrid`] with an optional whole-space [`Reduction`] shared by all
+/// ranks; the merged value lands in [`HybridResult::reduction`].
+pub fn run_hybrid_reduce<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    config: &HybridConfig,
+    reduce: Option<&Reduction<T>>,
+) -> HybridResult<T>
+where
+    T: Value + Wire,
+    K: Kernel<T>,
+{
+    let t_start = Instant::now();
+    let balance = LoadBalance::compute(tiling, params, config.ranks, &config.balance);
+    let balance_time = t_start.elapsed();
+    let owner = balance.clone().into_owner();
+
+    let priority = config.priority.clone().unwrap_or_else(|| {
+        let lb_dims = match &config.balance {
+            BalanceMethod::Slabs { lb_dims } => lb_dims.clone(),
+            BalanceMethod::Hyperplane => Vec::new(),
+        };
+        TilePriority::paper_default(tiling.dims(), &lb_dims)
+    });
+
+    let world = CommWorld::create::<T>(config.ranks, config.comm);
+    let comm_stats: Vec<Arc<CommStats>> = world.iter().map(|r| r.stats()).collect();
+
+    let mut per_rank: Vec<Option<NodeResult<T>>> = (0..config.ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for comm in &world {
+            let priority = priority.clone();
+            let owner = &owner;
+            handles.push(scope.spawn(move || {
+                let node_config = NodeConfig {
+                    threads: config.threads_per_rank,
+                    priority,
+                    rank: comm.rank(),
+                };
+                run_node_reduce(
+                    tiling,
+                    params,
+                    kernel,
+                    owner,
+                    comm,
+                    probe,
+                    &node_config,
+                    reduce,
+                )
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            per_rank[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    let per_rank: Vec<NodeResult<T>> = per_rank.into_iter().map(Option::unwrap).collect();
+
+    // Merge probes: each coordinate is resolved by exactly one rank.
+    let mut probes = vec![None; probe.len()];
+    for r in &per_rank {
+        for (i, v) in r.probes.iter().enumerate() {
+            if v.is_some() {
+                debug_assert!(probes[i].is_none(), "probe resolved by two ranks");
+                probes[i] = *v;
+            }
+        }
+    }
+
+    HybridResult {
+        probes,
+        reduction: reduce.map(|r| r.finish()),
+        per_rank,
+        comm_stats,
+        balance,
+        total_time: t_start.elapsed(),
+        balance_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_tiling::tiling::CellRef;
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    fn triangle(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    fn path_kernel(cell: CellRef<'_>, values: &mut [f64]) {
+        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1.0 };
+        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1.0 };
+        values[cell.loc] = a + b;
+    }
+
+    fn expected(n: i64) -> f64 {
+        // Reference via the serial executor.
+        let tiling = triangle(1_000_000); // single giant tile
+        let r = dpgen_runtime::run_reference::<f64, _>(&tiling, &[n], &path_kernel);
+        r.get(&[0, 0]).unwrap()
+    }
+
+    #[test]
+    fn hybrid_matches_reference_across_rank_counts() {
+        let n = 25i64;
+        let want = expected(n);
+        let tiling = triangle(3);
+        for ranks in [1usize, 2, 4] {
+            for threads in [1usize, 2] {
+                let config = HybridConfig::new(ranks, threads, vec![0]);
+                let res = run_hybrid::<f64, _>(
+                    &tiling,
+                    &[n],
+                    &path_kernel,
+                    &Probe::at(&[0, 0]),
+                    &config,
+                );
+                assert_eq!(
+                    res.probes[0],
+                    Some(want),
+                    "ranks={ranks} threads={threads}"
+                );
+                assert_eq!(
+                    res.cells_computed(),
+                    ((n + 1) * (n + 2) / 2) as u64
+                );
+                if ranks > 1 {
+                    assert!(res.edges_remote() > 0, "multi-rank runs must communicate");
+                    assert!(res.bytes_sent() > 0);
+                } else {
+                    assert_eq!(res.edges_remote(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hyperplane_balancing_also_correct() {
+        let n = 20i64;
+        let want = expected(n);
+        let tiling = triangle(2);
+        let config = HybridConfig {
+            ranks: 3,
+            threads_per_rank: 2,
+            priority: None,
+            comm: CommConfig::default(),
+            balance: BalanceMethod::Hyperplane,
+        };
+        let res =
+            run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        assert_eq!(res.probes[0], Some(want));
+    }
+
+    #[test]
+    fn tiny_buffers_still_complete() {
+        let n = 18i64;
+        let want = expected(n);
+        let tiling = triangle(2);
+        let config = HybridConfig {
+            ranks: 4,
+            threads_per_rank: 1,
+            priority: None,
+            comm: CommConfig {
+                send_buffers: 1,
+                recv_buffers: 1,
+            },
+            balance: BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        };
+        let res =
+            run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        assert_eq!(res.probes[0], Some(want));
+    }
+
+    #[test]
+    fn multiple_probes_merge_across_ranks() {
+        let n = 15i64;
+        let tiling = triangle(2);
+        let config = HybridConfig::new(3, 1, vec![0]);
+        let probe = Probe::many(&[&[0, 0], &[n, 0], &[0, n], &[7, 7]]);
+        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &probe, &config);
+        assert!(res.probes[0].is_some());
+        assert!(res.probes[1].is_some());
+        assert!(res.probes[2].is_some());
+        assert!(res.probes[3].is_some()); // 7+7 <= 15
+    }
+}

@@ -1,0 +1,35 @@
+//! The `dpgen` program generator core.
+//!
+//! This crate is the paper's primary contribution: from a high-level
+//! [`ProblemSpec`] — the same information the paper's input file carries
+//! (Section IV-A: loop variables, parameters, a system of linear
+//! inequalities, template vectors, loop ordering, load-balancing dimensions,
+//! tile widths, and the center-loop code) — it derives a [`Program`]: a
+//! ready-to-run hybrid tiled executable object.
+//!
+//! Modules:
+//!
+//! * [`spec`] — the problem description and the text input-file parser,
+//! * [`program`] — the generation pipeline (Section IV-C) and run entry
+//!   points,
+//! * [`loadbalance`] — the slab load balancer driven by work counts
+//!   (Section IV-J) and the hyperplane balancer of the future-work
+//!   Figure 8,
+//! * [`initial`] — paper-faithful initial tile generation by
+//!   face/edge/corner systems (Section IV-K),
+//! * [`driver`] — the hybrid "OpenMP + MPI" driver: one simulated rank per
+//!   node, each with a worker pool,
+//! * [`traceback`] — solution recovery by tile recomputation (the
+//!   Section VII-A future-work feature).
+
+pub mod driver;
+pub mod initial;
+pub mod loadbalance;
+pub mod program;
+pub mod spec;
+pub mod traceback;
+
+pub use driver::{run_hybrid, run_hybrid_reduce, HybridConfig, HybridResult};
+pub use loadbalance::{BalanceMethod, LoadBalance, MapOwner};
+pub use program::{Program, ProgramError};
+pub use spec::{ProblemSpec, SpecError};

@@ -1,0 +1,509 @@
+//! Load balancing (Section IV-J and the future-work Figure 8).
+//!
+//! The paper's method divides the total work evenly between nodes along the
+//! user-selected dimensions `lb1, lb2, …, lbj`: the highest-priority
+//! dimension makes the coarse cut and lesser-priority dimensions refine it.
+//! The amount of work per slab is obtained from counting polynomials — the
+//! paper uses two Ehrhart polynomials computed with Barvinok; here the
+//! counts come from exact lattice-point counting (validated against our
+//! interpolated Ehrhart polynomials, see `dpgen-polyhedra::ehrhart`).
+//!
+//! The future-work *hyperplane* method (Figure 8) instead orders tiles by a
+//! wavefront level and cuts that order into equal-work bands, which shortens
+//! the critical path on wedge-shaped spaces.
+
+use dpgen_polyhedra::{PolyError, QuasiPolynomial};
+use dpgen_runtime::TileOwner;
+use dpgen_tiling::{Coord, Direction, Tiling};
+use std::collections::HashMap;
+
+/// Reconstruct the paper's *first* counting polynomial: the total amount of
+/// work as a function of the (single) input parameter (Section IV-J; the
+/// paper computes it with the Barvinok library, we interpolate it from
+/// exact counts and verify the fit — see `dpgen-polyhedra::ehrhart`).
+///
+/// Only single-parameter problems are supported (all of the paper's
+/// workloads with a horizon `N`); the degree is the problem dimension and
+/// the period is 1 because the *work* polynomial counts original locations,
+/// which are width-independent.
+pub fn work_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyError> {
+    let params = tiling.original().space().param_indices();
+    if params.len() != 1 {
+        return Err(PolyError::Interpolation(format!(
+            "work polynomial needs exactly 1 parameter, problem has {}",
+            params.len()
+        )));
+    }
+    let d = tiling.dims();
+    QuasiPolynomial::interpolate(d, 1, 0, 2, |n| {
+        tiling.total_cells(&[n as i64]) as i128
+    })
+}
+
+/// The paper's *second* counting polynomial family: work restricted to a
+/// fixed index `c` of tile dimension `lb1`, as a quasi-polynomial in the
+/// parameter (period = the tile width of that dimension, because the slab
+/// boundaries move with `N mod w`). Evaluated per-slab by the slab
+/// balancer; reconstructed here for a fixed `c` to mirror the paper's
+/// formulation.
+pub fn slab_work_polynomial(
+    tiling: &Tiling,
+    lb_dim: usize,
+    slab: i64,
+) -> Result<QuasiPolynomial, PolyError> {
+    let params = tiling.original().space().param_indices();
+    if params.len() != 1 {
+        return Err(PolyError::Interpolation(
+            "slab work polynomial needs exactly 1 parameter".into(),
+        ));
+    }
+    let d = tiling.dims();
+    let w = tiling.widths()[lb_dim] as usize;
+    // Start sampling where the slab exists at all parameter values of its
+    // residue class.
+    let start = (slab + 1) * tiling.widths()[lb_dim];
+    QuasiPolynomial::interpolate(d, w.max(1), start.max(0) as i128, 1, |n| {
+        slab_work(tiling, lb_dim, slab, n as i64) as i128
+    })
+}
+
+/// The number of *tiles* as a quasi-polynomial in the single parameter.
+/// A genuinely periodic Ehrhart count (period = lcm of the tile widths):
+/// the tile grid shifts against the iteration space as the parameter moves
+/// through a width. This is the count the paper's `O(n^j)` load-balancing
+/// complexity argument is about.
+pub fn tile_count_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyError> {
+    let params = tiling.original().space().param_indices();
+    if params.len() != 1 {
+        return Err(PolyError::Interpolation(
+            "tile-count polynomial needs exactly 1 parameter".into(),
+        ));
+    }
+    let d = tiling.dims();
+    let period = tiling
+        .widths()
+        .iter()
+        .fold(1i64, |acc, &w| dpgen_polyhedra::num::lcm(acc as i128, w as i128) as i64)
+        as usize;
+    QuasiPolynomial::interpolate(d, period, 0, 1, |n| {
+        let mut point = tiling.make_point(&[n as i64]);
+        let mut count = 0i128;
+        tiling.for_each_tile(&mut point, |_| count += 1);
+        count
+    })
+}
+
+/// Exact work (cell count) of all tiles with `t[lb_dim] == slab`.
+pub fn slab_work(tiling: &Tiling, lb_dim: usize, slab: i64, n: i64) -> u128 {
+    let mut point = tiling.make_point(&[n]);
+    let mut tiles = Vec::new();
+    tiling.for_each_tile(&mut point, |t| {
+        if t[lb_dim] == slab {
+            tiles.push(t);
+        }
+    });
+    tiles
+        .iter()
+        .map(|t| tiling.tile_cell_count(t, &mut point))
+        .sum()
+}
+
+/// Which partitioning strategy to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalanceMethod {
+    /// The paper's slab method over the given load-balancing dimensions
+    /// (highest priority first). Tiles are ordered lexicographically along
+    /// those dimensions (flow-adjusted) and cut into equal-work contiguous
+    /// runs; dimensions beyond `lb1` refine the cut inside boundary slabs.
+    Slabs {
+        /// Load-balancing dimensions, highest priority first (`lb1..lbj`).
+        lb_dims: Vec<usize>,
+    },
+    /// The Figure 8 hyperplane method: order tiles by wavefront level
+    /// (flow-adjusted coordinate sum) and cut into equal-work bands.
+    Hyperplane,
+}
+
+/// A computed tile → rank assignment.
+#[derive(Debug, Clone)]
+pub struct LoadBalance {
+    owners: HashMap<Coord, usize>,
+    ranks: usize,
+    /// Work (cell count) assigned to each rank.
+    pub rank_work: Vec<u128>,
+    /// Tiles assigned to each rank.
+    pub rank_tiles: Vec<usize>,
+}
+
+impl LoadBalance {
+    /// Partition the problem's tiles over `ranks` ranks.
+    pub fn compute(
+        tiling: &Tiling,
+        params: &[i64],
+        ranks: usize,
+        method: &BalanceMethod,
+    ) -> LoadBalance {
+        assert!(ranks >= 1);
+        let mut point = tiling.make_point(params);
+        let mut tiles: Vec<Coord> = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+
+        // Work per tile = exact cell count (the per-slab Ehrhart evaluation
+        // of the paper, computed directly).
+        let mut weighted: Vec<(Coord, u128)> = tiles
+            .into_iter()
+            .map(|t| {
+                let w = tiling.tile_cell_count(&t, &mut point);
+                (t, w)
+            })
+            .collect();
+
+        // Order tiles by the method's key so equal-work cuts become
+        // contiguous runs.
+        let directions = tiling.templates().directions().to_vec();
+        let flow = |t: &Coord, k: usize| -> i64 {
+            match directions[k] {
+                Direction::Descending => -t[k],
+                Direction::Ascending => t[k],
+            }
+        };
+        // Blocks: the smallest unit a cut may separate. The paper's slab
+        // method may only cut where the selected dimensions' indices change
+        // (lb1 makes the coarse cut, lesser dimensions refine it inside a
+        // slab) — with too few dimensions the blocks are coarse and the
+        // balance degrades, which is exactly the Figure 2 observation. The
+        // hyperplane method cuts between individual tiles of the level
+        // order.
+        let block_key: Box<dyn Fn(&Coord) -> Vec<i64>> = match method {
+            BalanceMethod::Slabs { lb_dims } => {
+                assert!(!lb_dims.is_empty(), "slab balancing needs >= 1 dimension");
+                weighted.sort_by_key(|(t, _)| {
+                    let mut key: Vec<i64> = lb_dims.iter().map(|&k| flow(t, k)).collect();
+                    for k in 0..t.dims() {
+                        if !lb_dims.contains(&k) {
+                            key.push(flow(t, k));
+                        }
+                    }
+                    key
+                });
+                let lb = lb_dims.clone();
+                Box::new(move |t| lb.iter().map(|&k| flow(t, k)).collect())
+            }
+            BalanceMethod::Hyperplane => {
+                weighted.sort_by_key(|(t, _)| {
+                    let level: i64 = (0..t.dims()).map(|k| flow(t, k)).sum();
+                    let mut key = vec![level];
+                    key.extend((0..t.dims()).map(|k| flow(t, k)));
+                    key
+                });
+                Box::new(|t| {
+                    let mut key = vec![(0..t.dims()).map(|k| flow(t, k)).sum()];
+                    key.extend((0..t.dims()).map(|k| flow(t, k)));
+                    key
+                })
+            }
+        };
+
+        // Group consecutive tiles sharing a block key, then cut the block
+        // sequence into equal-work contiguous runs (midpoint rule).
+        let total: u128 = weighted.iter().map(|(_, w)| w).sum();
+        let mut owners = HashMap::with_capacity(weighted.len());
+        let mut rank_work = vec![0u128; ranks];
+        let mut rank_tiles = vec![0usize; ranks];
+        let mut cum: u128 = 0;
+        let mut i = 0usize;
+        while i < weighted.len() {
+            let key = block_key(&weighted[i].0);
+            let mut j = i;
+            let mut block_work: u128 = 0;
+            while j < weighted.len() && block_key(&weighted[j].0) == key {
+                block_work += weighted[j].1;
+                j += 1;
+            }
+            let mid = cum + block_work / 2;
+            let rank = if total == 0 {
+                0
+            } else {
+                (((mid * ranks as u128) / total) as usize).min(ranks - 1)
+            };
+            for (t, w) in &weighted[i..j] {
+                owners.insert(*t, rank);
+                rank_work[rank] += w;
+                rank_tiles[rank] += 1;
+            }
+            cum += block_work;
+            i = j;
+        }
+        LoadBalance {
+            owners,
+            ranks,
+            rank_work,
+            rank_tiles,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The rank owning `tile` (panics for unknown tiles).
+    pub fn owner(&self, tile: &Coord) -> usize {
+        self.owners[tile]
+    }
+
+    /// Imbalance = max rank work / mean rank work (1.0 is perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.rank_work.iter().max().unwrap_or(&0);
+        let total: u128 = self.rank_work.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.ranks as f64;
+        max as f64 / mean
+    }
+
+    /// Wrap into a [`TileOwner`] for the node runtime.
+    pub fn into_owner(self) -> MapOwner {
+        MapOwner {
+            owners: self.owners,
+        }
+    }
+}
+
+/// A [`TileOwner`] backed by an explicit map.
+#[derive(Debug, Clone)]
+pub struct MapOwner {
+    owners: HashMap<Coord, usize>,
+}
+
+impl TileOwner for MapOwner {
+    fn owner_of(&self, tile: &Coord) -> usize {
+        *self
+            .owners
+            .get(tile)
+            .unwrap_or_else(|| panic!("tile {tile} has no assigned owner"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    fn grid(n: &str, w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &[n]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text(&format!("0 <= x <= {n}")).unwrap();
+        sys.add_text(&format!("0 <= y <= {n}")).unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    fn triangle(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    #[test]
+    fn grid_slabs_balance_perfectly() {
+        // 16x16 cells, 4x4 tiles, 4 ranks along x: each rank gets one slab
+        // of 4 tile-columns = 64 cells.
+        let tiling = grid("N", 4);
+        let lb = LoadBalance::compute(
+            &tiling,
+            &[15],
+            4,
+            &BalanceMethod::Slabs { lb_dims: vec![0] },
+        );
+        assert_eq!(lb.rank_work, vec![64, 64, 64, 64]);
+        assert_eq!(lb.rank_tiles, vec![4, 4, 4, 4]);
+        assert!((lb.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_tile_has_an_owner() {
+        let tiling = triangle(3);
+        let lb = LoadBalance::compute(
+            &tiling,
+            &[20],
+            3,
+            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        );
+        let owner = lb.clone().into_owner();
+        let mut point = tiling.make_point(&[20]);
+        let mut total = 0u128;
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        for t in &tiles {
+            let r = owner.owner_of(t);
+            assert!(r < 3);
+            total += tiling.tile_cell_count(t, &mut point);
+        }
+        assert_eq!(total, tiling.total_cells(&[20]));
+        assert_eq!(lb.rank_work.iter().sum::<u128>(), total);
+    }
+
+    #[test]
+    fn triangle_two_dims_beat_one_dim() {
+        // Section IV-J / Figure 2: refining with a second dimension gives
+        // better balance on non-rectangular spaces.
+        let tiling = triangle(2);
+        let n = 40i64;
+        let one = LoadBalance::compute(
+            &tiling,
+            &[n],
+            3,
+            &BalanceMethod::Slabs { lb_dims: vec![0] },
+        );
+        let two = LoadBalance::compute(
+            &tiling,
+            &[n],
+            3,
+            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        );
+        assert!(
+            two.imbalance() <= one.imbalance() + 1e-9,
+            "2-dim {} vs 1-dim {}",
+            two.imbalance(),
+            one.imbalance()
+        );
+        assert!(two.imbalance() < 1.1, "refined balance should be near 1.0");
+    }
+
+    #[test]
+    fn hyperplane_produces_balanced_bands() {
+        let tiling = triangle(2);
+        let lb = LoadBalance::compute(&tiling, &[40], 4, &BalanceMethod::Hyperplane);
+        assert!(lb.imbalance() < 1.15, "imbalance {}", lb.imbalance());
+        assert_eq!(lb.ranks(), 4);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let tiling = triangle(3);
+        let lb = LoadBalance::compute(
+            &tiling,
+            &[12],
+            1,
+            &BalanceMethod::Slabs { lb_dims: vec![0] },
+        );
+        assert_eq!(lb.rank_work.len(), 1);
+        assert!((lb.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_polynomial_matches_exact_counts() {
+        // Triangle: W(N) = (N+1)(N+2)/2, a degree-2 polynomial.
+        let tiling = triangle(3);
+        let q = work_polynomial(&tiling).unwrap();
+        for n in [0i128, 5, 17, 100] {
+            assert_eq!(
+                q.eval(n).unwrap() as u128,
+                tiling.total_cells(&[n as i64]),
+                "N = {n}"
+            );
+        }
+        assert_eq!(q.degree(), 2);
+    }
+
+    #[test]
+    fn slab_work_polynomial_matches_exact_counts() {
+        let tiling = triangle(3);
+        // Slab t_x = 1 covers x in [3, 5].
+        let q = slab_work_polynomial(&tiling, 0, 1).unwrap();
+        for n in [6i64, 9, 14, 23, 40] {
+            assert_eq!(
+                q.eval(n as i128).unwrap() as u128,
+                slab_work(&tiling, 0, 1, n),
+                "N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn slab_works_sum_to_total() {
+        let tiling = triangle(4);
+        let n = 21i64;
+        let mut point = tiling.make_point(&[n]);
+        let mut max_slab = 0;
+        tiling.for_each_tile(&mut point, |t| max_slab = max_slab.max(t[0]));
+        let total: u128 = (0..=max_slab).map(|s| slab_work(&tiling, 0, s, n)).sum();
+        assert_eq!(total, tiling.total_cells(&[n]));
+    }
+
+    #[test]
+    fn tile_count_polynomial_matches_scan() {
+        let tiling = triangle(3);
+        let q = tile_count_polynomial(&tiling).unwrap();
+        assert_eq!(q.period(), 3);
+        for n in [0i64, 4, 11, 23, 50] {
+            let mut point = tiling.make_point(&[n]);
+            let mut count = 0i128;
+            tiling.for_each_tile(&mut point, |_| count += 1);
+            assert_eq!(q.eval(n as i128).unwrap(), count, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn tile_count_polynomial_mixed_widths() {
+        // Widths 2 and 3: period lcm = 6.
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        let t = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        let tiling = TilingBuilder::new(sys, t, vec![2, 3]).build().unwrap();
+        let q = tile_count_polynomial(&tiling).unwrap();
+        assert_eq!(q.period(), 6);
+        for n in [1i64, 7, 13, 29] {
+            // Grid: ceil((N+1)/2) x ceil((N+1)/3) tiles.
+            let expect = ((n + 2) / 2) * ((n + 3) / 3);
+            assert_eq!(q.eval(n as i128).unwrap(), expect as i128, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn work_polynomial_requires_single_param() {
+        // Two parameters: rejected.
+        let space = Space::from_names(&["x"], &["A", "B"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= A").unwrap();
+        sys.add_text("x <= B").unwrap();
+        let t = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
+        let tiling = TilingBuilder::new(sys, t, vec![2]).build().unwrap();
+        assert!(work_polynomial(&tiling).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no assigned owner")]
+    fn unknown_tile_panics() {
+        let tiling = triangle(3);
+        let owner = LoadBalance::compute(
+            &tiling,
+            &[12],
+            2,
+            &BalanceMethod::Slabs { lb_dims: vec![0] },
+        )
+        .into_owner();
+        owner.owner_of(&Coord::from_slice(&[99, 99]));
+    }
+}

@@ -1,0 +1,218 @@
+//! The generated program object: the user-facing entry point.
+//!
+//! A [`Program`] corresponds to the output of the paper's generator: a
+//! fully functioning parallel program for a cluster of shared-memory nodes.
+//! Here the "program" is an executable object (spec + derived tiling) with
+//! serial, shared-memory and hybrid run methods; `dpgen-codegen` can also
+//! render it to actual hybrid C source text.
+
+use crate::driver::{run_hybrid, HybridConfig, HybridResult};
+use crate::spec::{ProblemSpec, SpecError};
+use dpgen_mpisim::Wire;
+use dpgen_runtime::{
+    run_reference, run_shared, Kernel, NodeResult, Probe, ReferenceResult, TilePriority, Value,
+};
+use dpgen_tiling::{Tiling, TilingError};
+use std::fmt;
+
+/// Errors from program generation.
+#[derive(Debug)]
+pub enum ProgramError {
+    /// The spec failed to parse or validate.
+    Spec(SpecError),
+    /// The geometric derivation failed.
+    Tiling(TilingError),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Spec(e) => write!(f, "spec error: {e}"),
+            ProgramError::Tiling(e) => write!(f, "tiling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<SpecError> for ProgramError {
+    fn from(e: SpecError) -> ProgramError {
+        ProgramError::Spec(e)
+    }
+}
+
+impl From<TilingError> for ProgramError {
+    fn from(e: TilingError) -> ProgramError {
+        ProgramError::Tiling(e)
+    }
+}
+
+/// A generated program: the spec plus everything derived from it.
+#[derive(Debug, Clone)]
+pub struct Program {
+    spec: ProblemSpec,
+    tiling: Tiling,
+}
+
+impl Program {
+    /// Run the generation pipeline on a spec (Section IV-C, steps 1-4).
+    pub fn from_spec(spec: ProblemSpec) -> Result<Program, ProgramError> {
+        spec.validate()?;
+        let tiling = spec.tiling()?;
+        Ok(Program { spec, tiling })
+    }
+
+    /// Parse an input file and generate.
+    pub fn parse(text: &str) -> Result<Program, ProgramError> {
+        Program::from_spec(ProblemSpec::parse(text)?)
+    }
+
+    /// The problem specification.
+    pub fn spec(&self) -> &ProblemSpec {
+        &self.spec
+    }
+
+    /// The derived tiling.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// The paper's default tile priority for this program (Figure 5:
+    /// column-major with the load-balancing dimensions first).
+    pub fn default_priority(&self) -> TilePriority {
+        TilePriority::paper_default(self.tiling.dims(), &self.spec.load_balance_indices())
+    }
+
+    /// Serial untiled reference run (dense memory; validation/baseline).
+    pub fn run_serial<T, K>(&self, params: &[i64], kernel: &K) -> ReferenceResult<T>
+    where
+        T: Value,
+        K: Kernel<T>,
+    {
+        run_reference(&self.tiling, params, kernel)
+    }
+
+    /// Shared-memory run with `threads` workers (the pure-OpenMP
+    /// configuration of Figure 6).
+    pub fn run_shared<T, K>(
+        &self,
+        params: &[i64],
+        kernel: &K,
+        probe: &Probe,
+        threads: usize,
+    ) -> NodeResult<T>
+    where
+        T: Value,
+        K: Kernel<T>,
+    {
+        run_shared(
+            &self.tiling,
+            params,
+            kernel,
+            probe,
+            threads,
+            self.default_priority(),
+        )
+    }
+
+    /// Hybrid run on `ranks` simulated nodes × `threads_per_rank` workers
+    /// (the OpenMP + MPI configuration of Figure 7).
+    pub fn run_hybrid<T, K>(
+        &self,
+        params: &[i64],
+        kernel: &K,
+        probe: &Probe,
+        ranks: usize,
+        threads_per_rank: usize,
+    ) -> HybridResult<T>
+    where
+        T: Value + Wire,
+        K: Kernel<T>,
+    {
+        let lb = self.spec.load_balance_indices();
+        let lb = if lb.is_empty() { vec![0] } else { lb };
+        let config = HybridConfig::new(ranks, threads_per_rank, lb);
+        run_hybrid(&self.tiling, params, kernel, probe, &config)
+    }
+
+    /// Hybrid run with full configuration control.
+    pub fn run_hybrid_with<T, K>(
+        &self,
+        params: &[i64],
+        kernel: &K,
+        probe: &Probe,
+        config: &HybridConfig,
+    ) -> HybridResult<T>
+    where
+        T: Value + Wire,
+        K: Kernel<T>,
+    {
+        run_hybrid(&self.tiling, params, kernel, probe, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::bandit2_spec_text;
+    use dpgen_tiling::tiling::CellRef;
+
+    #[test]
+    fn bandit2_program_generates() {
+        let program = Program::parse(&bandit2_spec_text(6)).unwrap();
+        assert_eq!(program.spec().name, "bandit2");
+        assert_eq!(program.tiling().dims(), 4);
+        match program.default_priority() {
+            TilePriority::ColumnMajor { dim_order } => {
+                assert_eq!(dim_order, vec![0, 1, 2, 3]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// A miniature bandit kernel (uniform priors p = 0.5) to validate the
+    /// run entry points; the full Bayesian kernel lives in dpgen-problems.
+    fn toy_bandit(cell: CellRef<'_>, values: &mut [f64]) {
+        let p = 0.5;
+        let v1 = if cell.valid[0] && cell.valid[1] {
+            p * (1.0 + values[cell.loc_r(0)]) + (1.0 - p) * values[cell.loc_r(1)]
+        } else {
+            0.0
+        };
+        let v2 = if cell.valid[2] && cell.valid[3] {
+            p * (1.0 + values[cell.loc_r(2)]) + (1.0 - p) * values[cell.loc_r(3)]
+        } else {
+            0.0
+        };
+        values[cell.loc] = v1.max(v2);
+    }
+
+    #[test]
+    fn serial_shared_and_hybrid_agree() {
+        let program = Program::parse(&bandit2_spec_text(4)).unwrap();
+        let n = 10i64;
+        let serial = program.run_serial::<f64, _>(&[n], &toy_bandit);
+        let want = serial.get(&[0, 0, 0, 0]).unwrap();
+        // With p = 0.5 both arms are identical; V(0) = N/2 for this toy.
+        assert!((want - n as f64 / 2.0).abs() < 1e-9, "got {want}");
+        let shared =
+            program.run_shared::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 4);
+        assert_eq!(shared.probes[0], Some(want));
+        let hybrid =
+            program.run_hybrid::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 3, 2);
+        assert_eq!(hybrid.probes[0], Some(want));
+    }
+
+    #[test]
+    fn bad_specs_surface_errors() {
+        assert!(matches!(
+            Program::parse("vars x\nwidths 1\n"),
+            Err(ProgramError::Spec(_))
+        ));
+        // Unbounded space -> tiling error.
+        assert!(matches!(
+            Program::parse("vars x\nconstraint x >= 0\nwidths 4\n"),
+            Err(ProgramError::Tiling(_))
+        ));
+    }
+}

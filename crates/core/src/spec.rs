@@ -1,0 +1,463 @@
+//! The problem specification: the generator's user input (Section IV-A).
+//!
+//! A [`ProblemSpec`] carries exactly what the paper's input text file does:
+//!
+//! * the names of the loop variables and input parameters,
+//! * a system of linear inequalities describing the iteration space,
+//! * the named template vectors,
+//! * the loop ordering of the variables,
+//! * the load-balancing dimensions `lb1..lbj` (a priority-ordered subset),
+//! * the tile widths `w1..wd`,
+//! * and, for code generation, the user's center-loop code, initialisation
+//!   code and global definitions (C/C++ text that is passed through to the
+//!   emitted program).
+//!
+//! [`ProblemSpec::parse`] reads the paper's input-file format:
+//!
+//! ```text
+//! name bandit2
+//! vars s1 f1 s2 f2
+//! params N
+//! constraint s1 >= 0
+//! constraint s1 + f1 + s2 + f2 <= N
+//! template r1 1 0 0 0
+//! order s1 f1 s2 f2
+//! loadbalance s1 f1
+//! widths 8 8 8 8
+//! define {
+//!   double p1, p2;
+//! }
+//! init {
+//!   p1 = 0.5; p2 = 0.55;
+//! }
+//! code {
+//!   V[loc] = ...;
+//! }
+//! ```
+
+use dpgen_polyhedra::{ConstraintSystem, Space};
+use dpgen_tiling::{Template, TemplateSet, Tiling, TilingBuilder, TilingError};
+use std::fmt;
+
+/// Errors from spec construction or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Input file syntax error, with 1-based line number.
+    Syntax { line: usize, message: String },
+    /// Semantically invalid specification.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A named template vector as specified by the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTemplate {
+    /// Dependency name (`r1`, …).
+    pub name: String,
+    /// Offset vector, aligned with the variable order.
+    pub offsets: Vec<i64>,
+}
+
+/// The complete high-level problem description.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProblemSpec {
+    /// Problem name (used for emitted file and symbol names).
+    pub name: String,
+    /// Loop variable names, in declaration order.
+    pub vars: Vec<String>,
+    /// Input parameter names.
+    pub params: Vec<String>,
+    /// Iteration-space inequalities, in the parser's text syntax.
+    pub constraints: Vec<String>,
+    /// Template dependence vectors.
+    pub templates: Vec<SpecTemplate>,
+    /// Loop ordering (variable names, outermost first). Empty = declaration
+    /// order.
+    pub order: Vec<String>,
+    /// Load-balancing dimensions (variable names, highest priority first).
+    pub load_balance: Vec<String>,
+    /// Tile widths, aligned with the variable order.
+    pub widths: Vec<i64>,
+    /// User center-loop code (C/C++), passed through to emitted programs.
+    pub center_code: String,
+    /// User initialisation code.
+    pub init_code: String,
+    /// User global definitions.
+    pub defines: String,
+    /// State array element type for emitted code (default `double`).
+    pub value_type: String,
+}
+
+impl ProblemSpec {
+    /// Parse the paper's input-file format.
+    pub fn parse(text: &str) -> Result<ProblemSpec, SpecError> {
+        let mut spec = ProblemSpec {
+            value_type: "double".to_string(),
+            ..ProblemSpec::default()
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let mut ln = 0usize;
+        let syntax = |line: usize, message: String| SpecError::Syntax { line: line + 1, message };
+        while ln < lines.len() {
+            let raw = lines[ln];
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                ln += 1;
+                continue;
+            }
+            let (keyword, rest) = match line.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => (line, ""),
+            };
+            match keyword {
+                "name" => {
+                    if rest.is_empty() {
+                        return Err(syntax(ln, "missing name".into()));
+                    }
+                    spec.name = rest.to_string();
+                }
+                "vars" => spec.vars = words(rest),
+                "params" => spec.params = words(rest),
+                "constraint" => spec.constraints.push(rest.to_string()),
+                "template" => {
+                    let mut parts = rest.split_whitespace();
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| syntax(ln, "template needs a name".into()))?
+                        .to_string();
+                    let offsets: Result<Vec<i64>, _> =
+                        parts.map(|p| p.parse::<i64>()).collect();
+                    let offsets = offsets
+                        .map_err(|e| syntax(ln, format!("bad template component: {e}")))?;
+                    spec.templates.push(SpecTemplate { name, offsets });
+                }
+                "order" => spec.order = words(rest),
+                "loadbalance" => spec.load_balance = words(rest),
+                "widths" => {
+                    let parsed: Result<Vec<i64>, _> =
+                        rest.split_whitespace().map(|p| p.parse::<i64>()).collect();
+                    spec.widths = parsed.map_err(|e| syntax(ln, format!("bad width: {e}")))?;
+                }
+                "type" => spec.value_type = rest.to_string(),
+                "define" | "init" | "code" => {
+                    if rest != "{" {
+                        return Err(syntax(ln, format!("expected `{{` after `{keyword}`")));
+                    }
+                    let mut body = String::new();
+                    let start = ln;
+                    let mut depth = 0i32;
+                    ln += 1;
+                    loop {
+                        if ln >= lines.len() {
+                            return Err(syntax(start, format!("unterminated `{keyword}` block")));
+                        }
+                        let line = lines[ln];
+                        // The block ends at a bare `}` at nesting depth 0;
+                        // braces inside the user's code nest freely.
+                        if line.trim() == "}" && depth == 0 {
+                            break;
+                        }
+                        depth += line.matches('{').count() as i32;
+                        depth -= line.matches('}').count() as i32;
+                        body.push_str(line);
+                        body.push('\n');
+                        ln += 1;
+                    }
+                    match keyword {
+                        "define" => spec.defines = body,
+                        "init" => spec.init_code = body,
+                        _ => spec.center_code = body,
+                    }
+                }
+                other => {
+                    return Err(syntax(ln, format!("unknown keyword `{other}`")));
+                }
+            }
+            ln += 1;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check internal consistency (names resolve, arities match).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let inv = |m: String| SpecError::Invalid(m);
+        if self.vars.is_empty() {
+            return Err(inv("no loop variables declared".into()));
+        }
+        if self.constraints.is_empty() {
+            return Err(inv("no constraints declared".into()));
+        }
+        if self.widths.len() != self.vars.len() {
+            return Err(inv(format!(
+                "{} widths for {} variables",
+                self.widths.len(),
+                self.vars.len()
+            )));
+        }
+        for t in &self.templates {
+            if t.offsets.len() != self.vars.len() {
+                return Err(inv(format!(
+                    "template `{}` has {} components for {} variables",
+                    t.name,
+                    t.offsets.len(),
+                    self.vars.len()
+                )));
+            }
+        }
+        for v in self.order.iter().chain(&self.load_balance) {
+            if !self.vars.contains(v) {
+                return Err(inv(format!("`{v}` is not a declared variable")));
+            }
+        }
+        if !self.order.is_empty() {
+            let mut seen = self.order.clone();
+            seen.sort();
+            seen.dedup();
+            if seen.len() != self.vars.len() {
+                return Err(inv("`order` must list every variable exactly once".into()));
+            }
+        }
+        {
+            let mut lb = self.load_balance.clone();
+            lb.sort();
+            lb.dedup();
+            if lb.len() != self.load_balance.len() {
+                return Err(inv("duplicate load-balance dimension".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The iteration space as a constraint system.
+    pub fn system(&self) -> Result<ConstraintSystem, SpecError> {
+        let space = Space::from_names(&self.vars, &self.params)
+            .map_err(|e| SpecError::Invalid(e.to_string()))?;
+        let mut sys = ConstraintSystem::new(space);
+        for c in &self.constraints {
+            sys.add_text(c)
+                .map_err(|e| SpecError::Invalid(format!("constraint `{c}`: {e}")))?;
+        }
+        Ok(sys)
+    }
+
+    /// The validated template set.
+    pub fn template_set(&self) -> Result<TemplateSet, SpecError> {
+        let ts = self
+            .templates
+            .iter()
+            .map(|t| Template::new(&t.name, &t.offsets))
+            .collect();
+        TemplateSet::new(self.vars.len(), ts).map_err(|e| SpecError::Invalid(e.to_string()))
+    }
+
+    /// Loop ordering as dimension indices (outermost first).
+    pub fn order_indices(&self) -> Vec<usize> {
+        if self.order.is_empty() {
+            (0..self.vars.len()).collect()
+        } else {
+            self.order
+                .iter()
+                .map(|v| self.vars.iter().position(|u| u == v).expect("validated"))
+                .collect()
+        }
+    }
+
+    /// Load-balancing dimensions as indices (highest priority first).
+    pub fn load_balance_indices(&self) -> Vec<usize> {
+        self.load_balance
+            .iter()
+            .map(|v| self.vars.iter().position(|u| u == v).expect("validated"))
+            .collect()
+    }
+
+    /// Derive the tiling (runs the geometric half of the generation
+    /// pipeline, Section IV-C steps 1-4).
+    pub fn tiling(&self) -> Result<Tiling, TilingError> {
+        let sys = self
+            .system()
+            .map_err(|e| TilingError::Input(e.to_string()))?;
+        let templates = self
+            .template_set()
+            .map_err(|e| TilingError::Input(e.to_string()))?;
+        TilingBuilder::new(sys, templates, self.widths.clone())
+            .loop_order(self.order_indices())
+            .build()
+    }
+}
+
+fn words(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+/// The 2-arm bandit input file from the paper (Sections II and IV-B),
+/// parameterised by tile width. Used by tests, examples and benches.
+pub fn bandit2_spec_text(width: i64) -> String {
+    format!(
+        "# 2-arm Bernoulli bandit (paper Sections II, IV)\n\
+         name bandit2\n\
+         vars s1 f1 s2 f2\n\
+         params N\n\
+         constraint s1 >= 0\n\
+         constraint f1 >= 0\n\
+         constraint s2 >= 0\n\
+         constraint f2 >= 0\n\
+         constraint s1 + f1 + s2 + f2 <= N\n\
+         template r1 1 0 0 0\n\
+         template r2 0 1 0 0\n\
+         template r3 0 0 1 0\n\
+         template r4 0 0 0 1\n\
+         order s1 f1 s2 f2\n\
+         loadbalance s1 f1\n\
+         widths {width} {width} {width} {width}\n\
+         define {{\n\
+         static const double a1 = 1, b1 = 1, a2 = 1, b2 = 1;\n\
+         }}\n\
+         init {{\n\
+         const double p1 = (a1 + s1) / (a1 + b1 + s1 + f1);\n\
+         const double p2 = (a2 + s2) / (a2 + b2 + s2 + f2);\n\
+         }}\n\
+         code {{\n\
+         if (!is_valid_r1) {{ V[loc] = (double)(s1 + s2); }}\n\
+         else {{\n\
+         double V1 = p1 * V[loc_r1] + (1 - p1) * V[loc_r2];\n\
+         double V2 = p2 * V[loc_r3] + (1 - p2) * V[loc_r4];\n\
+         V[loc] = DP_MAX(V1, V2);\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bandit2() {
+        let spec = ProblemSpec::parse(&bandit2_spec_text(8)).unwrap();
+        assert_eq!(spec.name, "bandit2");
+        assert_eq!(spec.vars, vec!["s1", "f1", "s2", "f2"]);
+        assert_eq!(spec.params, vec!["N"]);
+        assert_eq!(spec.constraints.len(), 5);
+        assert_eq!(spec.templates.len(), 4);
+        assert_eq!(spec.templates[0].name, "r1");
+        assert_eq!(spec.templates[0].offsets, vec![1, 0, 0, 0]);
+        assert_eq!(spec.order, vec!["s1", "f1", "s2", "f2"]);
+        assert_eq!(spec.load_balance, vec!["s1", "f1"]);
+        assert_eq!(spec.widths, vec![8, 8, 8, 8]);
+        assert!(spec.center_code.contains("V[loc] = DP_MAX(V1, V2);"));
+        assert!(spec.init_code.contains("p1 ="));
+        assert!(spec.defines.contains("static const double a1 = 1"));
+        assert_eq!(spec.value_type, "double");
+    }
+
+    #[test]
+    fn parsed_spec_builds_tiling() {
+        let spec = ProblemSpec::parse(&bandit2_spec_text(8)).unwrap();
+        let tiling = spec.tiling().unwrap();
+        assert_eq!(tiling.dims(), 4);
+        assert_eq!(tiling.deps().len(), 4);
+        assert_eq!(spec.load_balance_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = ProblemSpec::parse(
+            "# header\n\nname t\nvars x\nconstraint 0 <= x <= 9\nwidths 3\n\n# tail\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "t");
+        assert!(spec.templates.is_empty());
+    }
+
+    #[test]
+    fn code_blocks_nest_braces() {
+        let spec = ProblemSpec::parse(
+            "vars x\nconstraint 0 <= x <= 9\nwidths 3\n\
+             code {\n\
+             if (a) { b(); }\n\
+             else {\n\
+             c();\n\
+             }\n\
+             }\n",
+        )
+        .unwrap();
+        assert!(spec.center_code.contains("if (a) { b(); }"));
+        assert!(spec.center_code.contains("else {"));
+        assert!(spec.center_code.trim_end().ends_with('}'));
+        // The bandit2 text (with its base-case branch) round-trips.
+        let spec = ProblemSpec::parse(&bandit2_spec_text(8)).unwrap();
+        assert!(spec.center_code.contains("if (!is_valid_r1)"));
+        assert!(spec.center_code.contains("V[loc] = DP_MAX(V1, V2);"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = ProblemSpec::parse("name t\nbogus keyword\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::Syntax {
+                line: 2,
+                message: "unknown keyword `bogus`".into()
+            }
+        );
+        let err = ProblemSpec::parse("template r x y\n").unwrap_err();
+        assert!(matches!(err, SpecError::Syntax { line: 1, .. }));
+        let err = ProblemSpec::parse("code {\nnever closed\n").unwrap_err();
+        assert!(matches!(err, SpecError::Syntax { .. }));
+        let err = ProblemSpec::parse("code later {\n}\n").unwrap_err();
+        assert!(matches!(err, SpecError::Syntax { .. }));
+    }
+
+    #[test]
+    fn validation_errors() {
+        // No vars.
+        assert!(ProblemSpec::parse("constraint 1 <= 2\nwidths 1\n").is_err());
+        // Width arity.
+        assert!(ProblemSpec::parse("vars x y\nconstraint x <= y\nwidths 3\n").is_err());
+        // Template arity.
+        assert!(ProblemSpec::parse(
+            "vars x\nconstraint 0 <= x <= 5\nwidths 2\ntemplate r 1 0\n"
+        )
+        .is_err());
+        // Unknown order name.
+        assert!(ProblemSpec::parse(
+            "vars x\nconstraint 0 <= x <= 5\nwidths 2\norder z\n"
+        )
+        .is_err());
+        // Incomplete order.
+        assert!(ProblemSpec::parse(
+            "vars x y\nconstraint 0 <= x <= y\nconstraint y <= 5\nwidths 2 2\norder x\n"
+        )
+        .is_err());
+        // Duplicate load-balance dim.
+        assert!(ProblemSpec::parse(
+            "vars x\nconstraint 0 <= x <= 5\nwidths 2\nloadbalance x x\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_constraint_text_reported_via_system() {
+        let spec = ProblemSpec::parse("vars x\nconstraint x <= yy\nwidths 2\n").unwrap();
+        assert!(matches!(spec.system(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn order_defaults_to_declaration_order() {
+        let spec =
+            ProblemSpec::parse("vars a b\nconstraint 0 <= a <= b\nconstraint b <= 9\nwidths 2 2\n")
+                .unwrap();
+        assert_eq!(spec.order_indices(), vec![0, 1]);
+    }
+}

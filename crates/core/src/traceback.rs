@@ -1,0 +1,341 @@
+//! Solution recovery by traceback (the Section VII-A future-work feature).
+//!
+//! A dynamic program usually wants more than the optimal *value*: it wants
+//! the optimal *decisions* (an alignment, a pull policy). That requires
+//! revisiting cells after the forward pass, but the tiled runtime discards
+//! tile interiors to save memory. The paper's proposal: save the tile
+//! *edges*, and recompute needed tiles on the fly during the traceback.
+//! That is what this module does:
+//!
+//! * [`run_logged`] performs a serial forward pass that retains every
+//!   inter-tile edge in an [`EdgeLog`] (memory `O(n^{d-1})`, not `O(n^d)`),
+//! * [`Traceback`] then walks a path from a start cell: each step recomputes
+//!   the (cached) tile containing the current cell from its logged edges
+//!   and asks a user-supplied decision function which dependency the
+//!   optimal policy follows.
+
+use dpgen_runtime::{Kernel, Value};
+use dpgen_tiling::tiling::CellRef;
+use dpgen_tiling::{Coord, Tiling};
+use std::collections::{HashMap, VecDeque};
+
+/// All inter-tile edges produced during a forward pass, keyed by consumer
+/// tile.
+pub struct EdgeLog<T> {
+    edges: HashMap<Coord, Vec<(Coord, Vec<T>)>>,
+}
+
+impl<T> EdgeLog<T> {
+    /// Edges buffered for `tile` (empty slice for initial tiles).
+    pub fn edges_for(&self, tile: &Coord) -> &[(Coord, Vec<T>)] {
+        self.edges.get(tile).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of tiles with logged edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges were logged (single-tile problems).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Total logged edge cells (the memory cost of traceback support).
+    pub fn total_cells(&self) -> usize {
+        self.edges
+            .values()
+            .flat_map(|v| v.iter().map(|(_, p)| p.len()))
+            .sum()
+    }
+}
+
+/// Serial forward pass retaining every inter-tile edge.
+pub fn run_logged<T, K>(tiling: &Tiling, params: &[i64], kernel: &K) -> EdgeLog<T>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let mut point = tiling.make_point(params);
+    let mut tiles = Vec::new();
+    tiling.for_each_tile(&mut point, |t| tiles.push(t));
+    let mut remaining: HashMap<Coord, usize> = HashMap::with_capacity(tiles.len());
+    let mut queue: VecDeque<Coord> = VecDeque::new();
+    for t in &tiles {
+        let total = tiling.dep_total(t, &mut point);
+        remaining.insert(*t, total);
+        if total == 0 {
+            queue.push_back(*t);
+        }
+    }
+    let mut log: HashMap<Coord, Vec<(Coord, Vec<T>)>> = HashMap::new();
+    let layout = tiling.layout();
+    while let Some(tile) = queue.pop_front() {
+        let values = compute_tile(tiling, params, kernel, &tile, log.get(&tile).map(Vec::as_slice).unwrap_or(&[]));
+        // Pack edges for every consumer, log them, and decrement.
+        for (dep_idx, dep) in tiling.deps().iter().enumerate() {
+            let consumer = tile.sub(&dep.delta);
+            if !tiling.tile_in_space(&consumer, &mut point) {
+                continue;
+            }
+            let edge = &tiling.edges()[dep_idx];
+            tiling.set_tile(&tile, &mut point);
+            let mut payload = Vec::new();
+            edge.for_each_cell(&mut point, |j| payload.push(values[layout.loc(j)]))
+                .expect("edge pack failed");
+            log.entry(consumer).or_default().push((dep.delta, payload));
+            let r = remaining.get_mut(&consumer).expect("consumer not in tile space");
+            *r -= 1;
+            if *r == 0 {
+                queue.push_back(consumer);
+            }
+        }
+    }
+    EdgeLog { edges: log }
+}
+
+/// Recompute one tile's values from logged edges.
+fn compute_tile<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    tile: &Coord,
+    edges: &[(Coord, Vec<T>)],
+) -> Vec<T>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let layout = tiling.layout();
+    let mut point = tiling.make_point(params);
+    let mut values = vec![T::default(); layout.size()];
+    for (delta, payload) in edges {
+        let edge = tiling.edge_for(delta).expect("unknown edge offset");
+        let src = tile.add(delta);
+        tiling.set_tile(&src, &mut point);
+        let mut k = 0usize;
+        edge.for_each_cell(&mut point, |j| {
+            values[layout.loc_ghost(j, delta)] = payload[k];
+            k += 1;
+        })
+        .expect("edge unpack failed");
+    }
+    tiling
+        .scan_tile(tile, &mut point, |cell| kernel.compute(cell, &mut values))
+        .expect("tile scan failed");
+    values
+}
+
+/// A decision step: given the cell (with its validity flags and offsets)
+/// and the tile's values, return the template id the optimal policy
+/// follows, or `None` to stop the trace.
+pub type DecideFn<'f, T> = dyn FnMut(CellRef<'_>, &[T]) -> Option<usize> + 'f;
+
+/// Walks optimal-decision paths over a logged forward pass.
+pub struct Traceback<'a, T, K> {
+    tiling: &'a Tiling,
+    params: Vec<i64>,
+    kernel: &'a K,
+    log: &'a EdgeLog<T>,
+    cache: Option<(Coord, Vec<T>)>,
+    /// Tiles recomputed so far (a measure of traceback cost).
+    pub tiles_recomputed: usize,
+}
+
+impl<'a, T, K> Traceback<'a, T, K>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    /// New traceback over a finished forward pass.
+    pub fn new(
+        tiling: &'a Tiling,
+        params: &[i64],
+        kernel: &'a K,
+        log: &'a EdgeLog<T>,
+    ) -> Traceback<'a, T, K> {
+        Traceback {
+            tiling,
+            params: params.to_vec(),
+            kernel,
+            log,
+            cache: None,
+            tiles_recomputed: 0,
+        }
+    }
+
+    /// Trace from `start`, calling `decide` at every visited cell. Returns
+    /// the visited path (including `start`). Stops when `decide` returns
+    /// `None` or the chosen dependency leaves the iteration space.
+    pub fn trace(&mut self, start: &[i64], decide: &mut DecideFn<'_, T>) -> Vec<Coord> {
+        let d = self.tiling.dims();
+        let widths = self.tiling.widths();
+        let mut x = Coord::from_slice(start);
+        let mut path = vec![x];
+        loop {
+            // Which tile holds x?
+            let mut tile = Coord::zeros(d);
+            for k in 0..d {
+                tile.set(k, x[k].div_euclid(widths[k]));
+            }
+            self.ensure_tile(&tile);
+            let values: &[T] = &self.cache.as_ref().unwrap().1;
+            // Find the CellRef for x by scanning (cells are cheap relative
+            // to a recompute; the tile is cached between steps).
+            let mut decision: Option<Option<usize>> = None;
+            let mut point = self.tiling.make_point(&self.params);
+            let xs = x;
+            self.tiling
+                .scan_tile(&tile, &mut point, |cell| {
+                    if cell.x == xs.as_slice() {
+                        decision = Some(decide(cell, values));
+                    }
+                })
+                .expect("traceback scan failed");
+            let Some(choice) = decision else {
+                panic!("traceback start {x} outside the iteration space");
+            };
+            let Some(j) = choice else { break };
+            let r = &self.tiling.templates().templates()[j].offset;
+            x = x.add(r);
+            path.push(x);
+        }
+        path
+    }
+
+    fn ensure_tile(&mut self, tile: &Coord) {
+        let hit = matches!(&self.cache, Some((t, _)) if t == tile);
+        if !hit {
+            let values = compute_tile(
+                self.tiling,
+                &self.params,
+                self.kernel,
+                tile,
+                self.log.edges_for(tile),
+            );
+            self.tiles_recomputed += 1;
+            self.cache = Some((*tile, values));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    /// Max-path problem on the triangle: f(x) = score(x) + max(f(x+e1),
+    /// f(x+e2)), base 0. The optimal path from (0,0) follows the larger
+    /// branch at each step — a miniature alignment traceback.
+    fn triangle(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    fn score(x: i64, y: i64) -> i64 {
+        // Deterministic pseudo-random scores.
+        (x * 7919 + y * 104729) % 97
+    }
+
+    fn kernel(cell: CellRef<'_>, values: &mut [i64]) {
+        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { i64::MIN / 2 };
+        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { i64::MIN / 2 };
+        let best = a.max(b).max(0);
+        values[cell.loc] = score(cell.x[0], cell.x[1]) + best;
+    }
+
+    /// Reference: dense DP + greedy traceback.
+    fn reference_path(n: i64) -> (i64, Vec<(i64, i64)>) {
+        let mut f = HashMap::new();
+        for sum in (0..=n).rev() {
+            for x in 0..=sum {
+                let y = sum - x;
+                let a = if x + 1 + y <= n { f[&(x + 1, y)] } else { i64::MIN / 2 };
+                let b = if x + y + 1 <= n { f[&(x, y + 1)] } else { i64::MIN / 2 };
+                let best: i64 = a.max(b).max(0);
+                f.insert((x, y), score(x, y) + best);
+            }
+        }
+        let mut path = vec![(0i64, 0i64)];
+        let (mut x, mut y) = (0i64, 0i64);
+        loop {
+            let a = if x + 1 + y <= n { Some(f[&(x + 1, y)]) } else { None };
+            let b = if x + y + 1 <= n { Some(f[&(x, y + 1)]) } else { None };
+            match (a, b) {
+                (None, None) => break,
+                (Some(av), Some(bv)) if av >= bv => x += 1,
+                (Some(_), None) => x += 1,
+                _ => y += 1,
+            }
+            path.push((x, y));
+        }
+        (f[&(0, 0)], path)
+    }
+
+    #[test]
+    fn traceback_matches_dense_reference() {
+        for (n, w) in [(12i64, 3i64), (20, 4), (9, 2)] {
+            let tiling = triangle(w);
+            let log = run_logged::<i64, _>(&tiling, &[n], &kernel);
+            let (_, want_path) = reference_path(n);
+            let mut tb = Traceback::new(&tiling, &[n], &kernel, &log);
+            let mut decide = |cell: CellRef<'_>, values: &[i64]| -> Option<usize> {
+                let a = cell.valid[0].then(|| values[cell.loc_r(0)]);
+                let b = cell.valid[1].then(|| values[cell.loc_r(1)]);
+                match (a, b) {
+                    (None, None) => None,
+                    (Some(av), Some(bv)) if av >= bv => Some(0),
+                    (Some(_), None) => Some(0),
+                    _ => Some(1),
+                }
+            };
+            let path = tb.trace(&[0, 0], &mut decide);
+            let got: Vec<(i64, i64)> = path.iter().map(|c| (c[0], c[1])).collect();
+            assert_eq!(got, want_path, "N={n} w={w}");
+            assert!(tb.tiles_recomputed >= 1);
+        }
+    }
+
+    #[test]
+    fn edge_log_memory_is_subquadratic() {
+        // The log holds edges (O(n)), not the full space (O(n^2)).
+        let tiling = triangle(4);
+        let n = 40i64;
+        let log = run_logged::<i64, _>(&tiling, &[n], &kernel);
+        let total_space = ((n + 1) * (n + 2) / 2) as usize;
+        assert!(log.total_cells() < total_space, "{} vs {}", log.total_cells(), total_space);
+        assert!(!log.is_empty());
+        assert!(log.len() > 0);
+    }
+
+    #[test]
+    fn cache_avoids_recomputation_within_a_tile() {
+        let tiling = triangle(8);
+        let n = 7i64; // single tile
+        let log = run_logged::<i64, _>(&tiling, &[n], &kernel);
+        let mut tb = Traceback::new(&tiling, &[n], &kernel, &log);
+        let mut decide = |cell: CellRef<'_>, values: &[i64]| -> Option<usize> {
+            let a = cell.valid[0].then(|| values[cell.loc_r(0)]);
+            let b = cell.valid[1].then(|| values[cell.loc_r(1)]);
+            match (a, b) {
+                (None, None) => None,
+                (Some(av), Some(bv)) if av >= bv => Some(0),
+                (Some(_), None) => Some(0),
+                _ => Some(1),
+            }
+        };
+        let path = tb.trace(&[0, 0], &mut decide);
+        assert_eq!(path.len() as i64, n + 1); // walks to the hypotenuse
+        assert_eq!(tb.tiles_recomputed, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Discrete-event simulation of tile-DAG execution.
+//!
+//! The evaluation of the paper (Figures 6 and 7, Section VI) measures
+//! wall-clock scaling on a 24-core-per-node, 8-node cluster. This
+//! environment exposes a single CPU core, so parallel wall clock cannot be
+//! observed directly; instead, this crate *simulates* the execution of the
+//! exact tile graph the generated program would run:
+//!
+//! * the tile space, tile dependencies, per-tile work (cell counts) and
+//!   per-edge payload sizes come from the real [`Tiling`],
+//! * tiles are dispatched per rank by the same [`TilePriority`] the real
+//!   scheduler uses, to `threads` virtual workers per rank,
+//! * remote edges pay latency + per-cell bandwidth from a [`CostModel`]
+//!   whose compute constants are *calibrated* against measured serial
+//!   execution (see `dpgen-bench`).
+//!
+//! What the simulation preserves is precisely what determines the shape of
+//! the paper's scaling curves: the DAG critical path, the scheduler
+//! priority, the load balance across ranks, and the communication volume.
+//!
+//! The simulator is deliberately independent of the threaded runtime in
+//! `dpgen-runtime`, which remains the execution vehicle for all
+//! correctness tests.
+
+pub mod model;
+pub mod sim;
+
+pub use model::{CostModel, SimConfig};
+pub use sim::{simulate, SimResult};

@@ -1,0 +1,582 @@
+//! The event-driven simulator.
+
+use crate::model::SimConfig;
+use dpgen_runtime::TileOwner;
+use dpgen_tiling::{Coord, Tiling};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Virtual wall time to complete all tiles.
+    pub makespan: f64,
+    /// Sum of all tile durations: the virtual time of a 1-worker run
+    /// (critical path, communication and idleness excluded).
+    pub serial_time: f64,
+    /// Busy worker-seconds per rank.
+    pub busy: Vec<f64>,
+    /// Idle worker-seconds per rank (threads × makespan − busy).
+    pub idle: Vec<f64>,
+    /// Remote edges sent.
+    pub msgs_remote: u64,
+    /// Remote edge cells transferred.
+    pub cells_remote: u64,
+    /// Worker time spent stalled waiting for a free send buffer
+    /// (Section VI-C; zero when `send_buffers` is unlimited).
+    pub send_stall_time: f64,
+    /// Length of the DAG's critical path in virtual time (tile durations
+    /// plus cross-rank communication along the path): no worker count can
+    /// push the makespan below this.
+    pub critical_path: f64,
+    /// Number of tiles executed.
+    pub tiles: usize,
+    /// Total cells computed.
+    pub cells: u128,
+}
+
+impl SimResult {
+    /// The upper bound on speedup imposed by the critical path.
+    pub fn speedup_bound(&self) -> f64 {
+        if self.critical_path <= 0.0 {
+            return 1.0;
+        }
+        self.serial_time / self.critical_path
+    }
+
+    /// Speedup relative to the simulated serial time.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.serial_time / self.makespan
+    }
+
+    /// Parallel efficiency over `workers` total workers.
+    pub fn efficiency(&self, workers: usize) -> f64 {
+        self.speedup() / workers as f64
+    }
+
+    /// Aggregate idle fraction.
+    pub fn idle_fraction(&self) -> f64 {
+        let busy: f64 = self.busy.iter().sum();
+        let idle: f64 = self.idle.iter().sum();
+        if busy + idle <= 0.0 {
+            return 0.0;
+        }
+        idle / (busy + idle)
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A tile finishes on its rank's worker.
+    Complete { tile: usize },
+    /// A remote edge reaches its consumer.
+    Edge { tile: usize, cells: u64 },
+    /// A worker that was stalled on send buffers becomes free.
+    WorkerFree { rank: usize },
+}
+
+/// Totally ordered wrapper for event times (f64 with `total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueTime(f64);
+impl Eq for QueueTime {}
+impl Ord for QueueTime {
+    fn cmp(&self, other: &QueueTime) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for QueueTime {
+    fn partial_cmp(&self, other: &QueueTime) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue entry (min-heap via `Reverse`).
+struct QueueEntry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &QueueEntry) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &QueueEntry) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &QueueEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulate executing the tiling's full tile graph on the configured
+/// virtual machine. `owner` assigns tiles to ranks (use the real
+/// load balancer's output).
+pub fn simulate<O: TileOwner + ?Sized>(
+    tiling: &Tiling,
+    params: &[i64],
+    owner: &O,
+    config: &SimConfig,
+) -> SimResult {
+    assert!(config.ranks >= 1 && config.threads_per_rank >= 1);
+    let cost = config.cost;
+    let mut point = tiling.make_point(params);
+
+    // --- Static structure: tiles, work, owners, edges. -----------------
+    let mut tiles: Vec<Coord> = Vec::new();
+    tiling.for_each_tile(&mut point, |t| tiles.push(t));
+    let index: HashMap<Coord, usize> =
+        tiles.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+    let n = tiles.len();
+    let work: Vec<u128> = tiles
+        .iter()
+        .map(|t| tiling.tile_cell_count(t, &mut point))
+        .collect();
+    let owners: Vec<usize> = tiles
+        .iter()
+        .map(|t| {
+            let r = owner.owner_of(t);
+            assert!(r < config.ranks, "owner rank out of range");
+            r
+        })
+        .collect();
+    // Outgoing edges: (consumer index, payload cells) per tile.
+    let mut out_edges: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    let mut pending: Vec<usize> = vec![0; n];
+    let mut in_cells: Vec<u64> = vec![0; n];
+    let mut out_cells: Vec<u64> = vec![0; n];
+    for (i, t) in tiles.iter().enumerate() {
+        for (dep_idx, dep) in tiling.deps().iter().enumerate() {
+            let consumer = t.sub(&dep.delta);
+            let Some(&c) = index.get(&consumer) else { continue };
+            tiling.set_tile(t, &mut point);
+            let cells = tiling.edges()[dep_idx]
+                .count(&mut point)
+                .expect("edge count failed") as u64;
+            out_edges[i].push((c, cells));
+            out_cells[i] += cells;
+            pending[c] += 1;
+        }
+    }
+    // Incoming cells are known statically too (needed for durations).
+    let mut in_total: Vec<u64> = vec![0; n];
+    for i in 0..n {
+        for &(c, cells) in &out_edges[i] {
+            in_total[c] += cells;
+        }
+    }
+    let duration = |i: usize| -> f64 {
+        cost.tile_overhead
+            + work[i] as f64 * cost.cell_cost
+            + (in_total[i] + out_cells[i]) as f64 * cost.edge_cell_cost
+    };
+    let serial_time: f64 = (0..n).map(duration).sum();
+
+    // Critical path over the static DAG (Kahn's algorithm), charging the
+    // communication delay on cross-rank edges.
+    let critical_path = {
+        let mut indeg = pending.clone();
+        let mut dist: Vec<f64> = (0..n).map(duration).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut head = 0usize;
+        let mut longest = 0.0f64;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            longest = longest.max(dist[i]);
+            for &(c, cells) in &out_edges[i] {
+                let delay = if owners[c] == owners[i] {
+                    0.0
+                } else {
+                    cost.comm_latency + cells as f64 * cost.comm_cell_cost
+                };
+                let cand = dist[i] + delay + duration(c);
+                if cand > dist[c] {
+                    dist[c] = cand;
+                }
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        assert_eq!(head, n, "dependency cycle in tile DAG");
+        longest
+    };
+
+    // --- Dynamic state. --------------------------------------------------
+    let directions = tiling.templates().directions().to_vec();
+    let mut ready: Vec<BinaryHeap<Reverse<(Vec<i64>, usize)>>> =
+        (0..config.ranks).map(|_| BinaryHeap::new()).collect();
+    let mut idle: Vec<usize> = vec![config.threads_per_rank; config.ranks];
+    let mut busy: Vec<f64> = vec![0.0; config.ranks];
+    let mut events: BinaryHeap<Reverse<QueueEntry>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut prio_seq = 0u64;
+    let mut msgs_remote = 0u64;
+    let mut cells_remote = 0u64;
+    let mut makespan = 0.0f64;
+    let mut completed = 0usize;
+    let mut send_stall_time = 0.0f64;
+    // In-flight remote messages per directed rank pair: arrival times,
+    // bounded by the send-buffer count.
+    let mut inflight: HashMap<(usize, usize), BinaryHeap<Reverse<QueueTime>>> = HashMap::new();
+
+    let push_event = |events: &mut BinaryHeap<Reverse<QueueEntry>>,
+                          seq: &mut u64,
+                          time: f64,
+                          event: Event| {
+        *seq += 1;
+        events.push(Reverse(QueueEntry {
+            time,
+            seq: *seq,
+            event,
+        }));
+    };
+
+    // A tile becomes ready: queue it on its rank.
+    macro_rules! enqueue_ready {
+        ($i:expr) => {{
+            let i = $i;
+            let key = config.priority.key(&tiles[i], &directions, prio_seq);
+            prio_seq += 1;
+            ready[owners[i]].push(Reverse((key, i)));
+        }};
+    }
+    // Dispatch as many ready tiles as idle workers allow on a rank.
+    macro_rules! dispatch {
+        ($r:expr, $t:expr) => {{
+            let r = $r;
+            let now: f64 = $t;
+            while idle[r] > 0 {
+                let Some(Reverse((_, i))) = ready[r].pop() else { break };
+                idle[r] -= 1;
+                let d = duration(i);
+                busy[r] += d;
+                push_event(&mut events, &mut seq, now + d, Event::Complete { tile: i });
+            }
+        }};
+    }
+
+    for i in 0..n {
+        if pending[i] == 0 {
+            enqueue_ready!(i);
+        }
+    }
+    for r in 0..config.ranks {
+        dispatch!(r, 0.0);
+    }
+
+    while let Some(Reverse(entry)) = events.pop() {
+        let now = entry.time;
+        makespan = makespan.max(now);
+        match entry.event {
+            Event::Complete { tile } => {
+                let r = owners[tile];
+                completed += 1;
+                // The worker performs the sends itself; with bounded send
+                // buffers it may stall, releasing later than `now`.
+                let mut tcur = now;
+                for &(c, cells) in &out_edges[tile] {
+                    let dest = owners[c];
+                    if dest == r {
+                        // Local delivery is immediate.
+                        pending[c] -= 1;
+                        in_cells[c] += cells;
+                        if pending[c] == 0 {
+                            enqueue_ready!(c);
+                        }
+                    } else {
+                        msgs_remote += 1;
+                        cells_remote += cells;
+                        if config.send_buffers != usize::MAX {
+                            let slots = inflight.entry((r, dest)).or_default();
+                            // Free every buffer whose message has arrived.
+                            while let Some(&Reverse(QueueTime(t))) = slots.peek() {
+                                if t <= tcur {
+                                    slots.pop();
+                                } else {
+                                    break;
+                                }
+                            }
+                            if slots.len() >= config.send_buffers {
+                                // Stall until the earliest in-flight message
+                                // lands and frees its buffer.
+                                let Reverse(QueueTime(free_at)) =
+                                    slots.pop().expect("nonempty at cap");
+                                send_stall_time += free_at - tcur;
+                                tcur = free_at;
+                            }
+                        }
+                        let arrive =
+                            tcur + cost.comm_latency + cells as f64 * cost.comm_cell_cost;
+                        if config.send_buffers != usize::MAX {
+                            inflight
+                                .entry((r, dest))
+                                .or_default()
+                                .push(Reverse(QueueTime(arrive)));
+                        }
+                        push_event(
+                            &mut events,
+                            &mut seq,
+                            arrive,
+                            Event::Edge { tile: c, cells },
+                        );
+                    }
+                }
+                if tcur > now {
+                    // Worker stalled in sends: charge the stall as busy time
+                    // and free it later.
+                    busy[r] += tcur - now;
+                    push_event(&mut events, &mut seq, tcur, Event::WorkerFree { rank: r });
+                } else {
+                    idle[r] += 1;
+                    // Local deliveries may have readied tiles on this rank;
+                    // the freed worker may also take the next queued tile.
+                    dispatch!(r, now);
+                }
+            }
+            Event::Edge { tile, cells } => {
+                pending[tile] -= 1;
+                in_cells[tile] += cells;
+                if pending[tile] == 0 {
+                    enqueue_ready!(tile);
+                    dispatch!(owners[tile], now);
+                }
+            }
+            Event::WorkerFree { rank } => {
+                idle[rank] += 1;
+                dispatch!(rank, now);
+            }
+        }
+    }
+
+    assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tiles");
+    let idle_time: Vec<f64> = (0..config.ranks)
+        .map(|r| config.threads_per_rank as f64 * makespan - busy[r])
+        .collect();
+    SimResult {
+        makespan,
+        serial_time,
+        busy,
+        idle: idle_time,
+        msgs_remote,
+        cells_remote,
+        send_stall_time,
+        critical_path,
+        tiles: n,
+        cells: work.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CostModel, SimConfig};
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_runtime::{SingleOwner, TilePriority};
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    fn chain_1d(n_cells: i64, w: i64) -> Tiling {
+        let space = Space::from_names(&["x"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        let t = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
+        let _ = n_cells;
+        TilingBuilder::new(sys, t, vec![w]).build().unwrap()
+    }
+
+    fn grid_2d(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        let t = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, t, vec![w, w]).build().unwrap()
+    }
+
+    struct Owner2(usize);
+    impl TileOwner for Owner2 {
+        fn owner_of(&self, tile: &Coord) -> usize {
+            (tile[0] as usize) % self.0
+        }
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        // A 1-D chain's makespan is its serial time however many workers.
+        let tiling = chain_1d(100, 5);
+        let n = 99i64;
+        let s1 = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(1, 1));
+        let s8 = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(8, 1));
+        assert!((s1.makespan - s1.serial_time).abs() < 1e-12);
+        assert!((s8.makespan - s1.makespan).abs() < 1e-12);
+        assert!(s8.speedup() <= 1.0 + 1e-9);
+        // The whole chain IS the critical path.
+        assert!((s8.critical_path - s8.serial_time).abs() < 1e-12);
+        assert!((s8.speedup_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_bounds_makespan() {
+        let tiling = grid_2d(4);
+        let n = 79i64;
+        for threads in [1usize, 4, 16, 64] {
+            let s = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(threads, 2));
+            assert!(
+                s.makespan >= s.critical_path - 1e-12,
+                "threads {threads}: makespan {} below critical path {}",
+                s.makespan,
+                s.critical_path
+            );
+            assert!(s.speedup() <= s.speedup_bound() + 1e-9);
+        }
+        // With unlimited workers the makespan approaches the critical path.
+        let s = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(4096, 2));
+        assert!((s.makespan - s.critical_path).abs() / s.critical_path < 0.01);
+    }
+
+    #[test]
+    fn grid_scales_with_workers() {
+        // 20x20 tiles of equal work: plenty of wavefront parallelism.
+        let tiling = grid_2d(4);
+        let n = 79i64; // 20 tiles per dim
+        let s1 = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(1, 2));
+        let s4 = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(4, 2));
+        let s8 = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(8, 2));
+        assert!(s4.speedup() > 3.0, "4 workers: {}", s4.speedup());
+        assert!(s8.speedup() > 5.0, "8 workers: {}", s8.speedup());
+        assert!(s8.makespan < s4.makespan && s4.makespan < s1.makespan);
+        // Conservation: busy + idle = threads * makespan.
+        for (b, i) in s8.busy.iter().zip(&s8.idle) {
+            assert!((b + i - 8.0 * s8.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_workers_never_slow_down() {
+        let tiling = grid_2d(3);
+        let n = 29i64;
+        let mut last = f64::INFINITY;
+        for threads in [1usize, 2, 4, 8, 16] {
+            let s = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(threads, 2));
+            assert!(s.makespan <= last + 1e-12, "threads {threads}");
+            last = s.makespan;
+        }
+    }
+
+    #[test]
+    fn remote_edges_cost_latency() {
+        let tiling = grid_2d(4);
+        let n = 39i64;
+        let shared = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(2, 2));
+        let config = SimConfig {
+            ranks: 2,
+            threads_per_rank: 1,
+            priority: TilePriority::column_major(2),
+            cost: CostModel::default(),
+            send_buffers: usize::MAX,
+        };
+        let split = simulate(&tiling, &[n], &Owner2(2), &config);
+        assert!(split.msgs_remote > 0);
+        assert!(split.cells_remote > 0);
+        // Same total workers but communication: the split run is slower.
+        assert!(split.makespan > shared.makespan);
+        assert_eq!(split.tiles, shared.tiles);
+        assert_eq!(split.cells, shared.cells);
+    }
+
+    #[test]
+    fn zero_comm_cost_recovers_shared_performance() {
+        let tiling = grid_2d(4);
+        let n = 39i64;
+        let free_comm = CostModel {
+            comm_latency: 0.0,
+            comm_cell_cost: 0.0,
+            ..CostModel::default()
+        };
+        let shared = simulate(&tiling, &[n], &SingleOwner, &SimConfig::shared(2, 2));
+        let config = SimConfig {
+            ranks: 2,
+            threads_per_rank: 1,
+            priority: TilePriority::column_major(2),
+            cost: free_comm,
+            send_buffers: usize::MAX,
+        };
+        let split = simulate(&tiling, &[n], &Owner2(2), &config);
+        // With free communication the 2x1 split can still lose a little to
+        // rank-local scheduling, but not more than a few percent.
+        assert!(split.makespan <= shared.makespan * 1.25, "{} vs {}", split.makespan, shared.makespan);
+    }
+
+    #[test]
+    fn bounded_send_buffers_stall_and_slow() {
+        let tiling = grid_2d(2);
+        let n = 39i64; // 20x20 tiles, lots of boundary traffic
+        let slow_net = CostModel {
+            comm_latency: 1e-3, // exaggerate so buffers clearly bind
+            ..CostModel::default()
+        };
+        let run = |buffers: usize| {
+            let config = SimConfig {
+                ranks: 2,
+                threads_per_rank: 2,
+                priority: TilePriority::column_major(2),
+                cost: slow_net,
+                send_buffers: buffers,
+            };
+            simulate(&tiling, &[n], &Owner2(2), &config)
+        };
+        let unlimited = run(usize::MAX);
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(unlimited.send_stall_time, 0.0);
+        assert!(one.send_stall_time > 0.0, "1 buffer must stall");
+        assert!(one.makespan >= four.makespan - 1e-12);
+        assert!(four.makespan >= unlimited.makespan - 1e-12);
+        assert!(one.makespan > unlimited.makespan, "stalls must cost time");
+        // Same work gets done regardless.
+        assert_eq!(one.tiles, unlimited.tiles);
+        assert_eq!(one.msgs_remote, unlimited.msgs_remote);
+    }
+
+    #[test]
+    fn priorities_change_schedule_not_work() {
+        let tiling = grid_2d(4);
+        let n = 59i64;
+        let mut results = Vec::new();
+        for priority in [
+            TilePriority::column_major(2),
+            TilePriority::LevelSet,
+            TilePriority::Fifo,
+        ] {
+            let config = SimConfig {
+                ranks: 1,
+                threads_per_rank: 4,
+                priority,
+                cost: CostModel::default(),
+                send_buffers: usize::MAX,
+            };
+            results.push(simulate(&tiling, &[n], &SingleOwner, &config));
+        }
+        let serial = results[0].serial_time;
+        for r in &results {
+            assert!((r.serial_time - serial).abs() < 1e-9);
+            assert!(r.makespan >= serial / 4.0 - 1e-12);
+        }
+    }
+}

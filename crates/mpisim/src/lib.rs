@@ -1,0 +1,31 @@
+//! Simulated message-passing substrate — the "MPI" layer of the generated
+//! programs.
+//!
+//! The paper's generated code runs one MPI process per cluster node; edges
+//! leaving a node are packed into send buffers, transferred with
+//! non-blocking sends, and unpacked on the receiving node, with the number
+//! of send and receive buffers user-configurable (Sections V, VI-C).
+//!
+//! Real MPI is unavailable here, so this crate reproduces that code path in
+//! process: a [`CommWorld`] wires `n` ranks together with bounded channels
+//! (one per directed rank pair, capacity = the send-buffer count). Edges are
+//! *actually serialised to bytes* ([`wire`], [`packet`]) exactly as an MPI
+//! program would pack them, so buffer sizing, transfer volume and
+//! backpressure behave like the real thing:
+//!
+//! * a send with no free buffer **stalls** (counted in [`CommStats`]) and
+//!   keeps draining its own inbound traffic while waiting — the MPI progress
+//!   rule that prevents two mutually sending ranks from deadlocking;
+//! * receives are polled (`try_recv`), batched by the receive-buffer count.
+//!
+//! [`RankComm`] implements [`dpgen_runtime::Transport`], so the node runtime
+//! is oblivious to whether it talks to this simulation or to nothing.
+
+pub mod comm;
+pub mod packet;
+pub mod stats;
+pub mod wire;
+
+pub use comm::{CommConfig, CommWorld, RankComm};
+pub use stats::CommStats;
+pub use wire::Wire;

@@ -1,0 +1,121 @@
+//! Edge message framing: the packing format an MPI program would put on
+//! the wire for one tile edge.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! u8      dims d
+//! i64×d   consumer tile coordinates
+//! i64×d   dependency offset δ
+//! u32     payload cell count
+//! T×count payload values (see [`crate::wire::Wire`])
+//! ```
+
+use crate::wire::Wire;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dpgen_runtime::EdgeMsg;
+use dpgen_tiling::Coord;
+
+/// Serialise an edge message to a wire packet.
+pub fn encode<T: Wire>(msg: &EdgeMsg<T>) -> Bytes {
+    let d = msg.tile.dims();
+    debug_assert_eq!(d, msg.delta.dims());
+    let mut buf =
+        BytesMut::with_capacity(1 + 16 * d + 4 + msg.payload.len() * T::SIZE);
+    buf.put_u8(d as u8);
+    for &c in msg.tile.as_slice() {
+        buf.put_i64_le(c);
+    }
+    for &c in msg.delta.as_slice() {
+        buf.put_i64_le(c);
+    }
+    buf.put_u32_le(msg.payload.len() as u32);
+    for v in &msg.payload {
+        v.write(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Deserialise a wire packet back into an edge message.
+///
+/// Panics on a malformed packet (framing bugs are programming errors in
+/// this closed system, not recoverable input).
+pub fn decode<T: Wire>(mut buf: Bytes) -> EdgeMsg<T> {
+    let d = buf.get_u8() as usize;
+    let mut tile = Coord::zeros(d);
+    for k in 0..d {
+        tile.set(k, buf.get_i64_le());
+    }
+    let mut delta = Coord::zeros(d);
+    for k in 0..d {
+        delta.set(k, buf.get_i64_le());
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut payload = Vec::with_capacity(count);
+    for _ in 0..count {
+        payload.push(T::read(&mut buf));
+    }
+    assert_eq!(buf.remaining(), 0, "trailing bytes in edge packet");
+    EdgeMsg {
+        tile,
+        delta,
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn msg(tile: &[i64], delta: &[i64], payload: Vec<f64>) -> EdgeMsg<f64> {
+        EdgeMsg {
+            tile: Coord::from_slice(tile),
+            delta: Coord::from_slice(delta),
+            payload,
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let m = msg(&[3, -1, 4], &[1, 0, 0], vec![1.0, 2.5, -3.75]);
+        let decoded: EdgeMsg<f64> = decode(encode(&m));
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let m = msg(&[0, 0], &[0, 1], vec![]);
+        let decoded: EdgeMsg<f64> = decode(encode(&m));
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn packet_size_is_header_plus_payload() {
+        let m = msg(&[1, 2], &[1, 0], vec![0.0; 10]);
+        let packet = encode(&m);
+        assert_eq!(packet.len(), 1 + 16 * 2 + 4 + 10 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_bytes_detected() {
+        let m = msg(&[1], &[1], vec![1.0]);
+        let mut raw = encode(&m).to_vec();
+        raw.push(0xff);
+        let _: EdgeMsg<f64> = decode(Bytes::from(raw));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(
+            tile in proptest::collection::vec(-1000i64..1000, 1..=8),
+            payload in proptest::collection::vec(-1e12f64..1e12, 0..200),
+        ) {
+            let delta: Vec<i64> = tile.iter().map(|&c| c.signum()).collect();
+            let m = msg(&tile, &delta, payload);
+            let decoded: EdgeMsg<f64> = decode(encode(&m));
+            prop_assert_eq!(decoded, m);
+        }
+    }
+}

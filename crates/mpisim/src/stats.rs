@@ -1,0 +1,90 @@
+//! Per-rank communication statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters kept by each [`crate::RankComm`]; read them after a run to
+/// report communication volume and send-buffer pressure (the Section VI-C
+/// buffer-count experiment).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_received: AtomicU64,
+    send_stalls: AtomicU64,
+    stall_ns: AtomicU64,
+}
+
+impl CommStats {
+    /// Zeroed counters.
+    pub fn new() -> CommStats {
+        CommStats::default()
+    }
+
+    pub(crate) fn note_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_recv(&self, bytes: usize) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stall(&self, waited: Duration) {
+        self.send_stalls.fetch_add(1, Ordering::Relaxed);
+        self.stall_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Messages sent by this rank.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent by this rank.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages received by this rank.
+    pub fn msgs_received(&self) -> u64 {
+        self.msgs_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received by this rank.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Number of sends that found no free send buffer and had to wait.
+    pub fn send_stalls(&self) -> u64 {
+        self.send_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent stalled in sends.
+    pub fn stall_time(&self) -> Duration {
+        Duration::from_nanos(self.stall_ns.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::new();
+        s.note_send(100);
+        s.note_send(50);
+        s.note_recv(100);
+        s.note_stall(Duration::from_micros(5));
+        assert_eq!(s.msgs_sent(), 2);
+        assert_eq!(s.bytes_sent(), 150);
+        assert_eq!(s.msgs_received(), 1);
+        assert_eq!(s.bytes_received(), 100);
+        assert_eq!(s.send_stalls(), 1);
+        assert!(s.stall_time() >= Duration::from_micros(5));
+    }
+}

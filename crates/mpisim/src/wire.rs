@@ -1,0 +1,74 @@
+//! Byte-level value encoding for edge payloads.
+//!
+//! Mirrors what an MPI program does when it packs a tile edge into a typed
+//! send buffer. Little-endian, fixed width per type.
+
+use bytes::{Buf, BufMut};
+
+/// Types that can travel in an edge payload.
+pub trait Wire: Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Append the encoded value.
+    fn write(&self, buf: &mut impl BufMut);
+    /// Decode one value (advances the buffer).
+    fn read(buf: &mut impl Buf) -> Self;
+}
+
+macro_rules! impl_wire {
+    ($ty:ty, $size:expr, $put:ident, $get:ident) => {
+        impl Wire for $ty {
+            const SIZE: usize = $size;
+            fn write(&self, buf: &mut impl BufMut) {
+                buf.$put(*self);
+            }
+            fn read(buf: &mut impl Buf) -> Self {
+                buf.$get()
+            }
+        }
+    };
+}
+
+impl_wire!(f64, 8, put_f64_le, get_f64_le);
+impl_wire!(f32, 4, put_f32_le, get_f32_le);
+impl_wire!(u64, 8, put_u64_le, get_u64_le);
+impl_wire!(i64, 8, put_i64_le, get_i64_le);
+impl_wire!(u32, 4, put_u32_le, get_u32_le);
+impl_wire!(i32, 4, put_i32_le, get_i32_le);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(vals: &[T]) {
+        let mut buf = BytesMut::new();
+        for v in vals {
+            v.write(&mut buf);
+        }
+        assert_eq!(buf.len(), vals.len() * T::SIZE);
+        let mut b = buf.freeze();
+        for v in vals {
+            assert_eq!(T::read(&mut b), *v);
+        }
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(&[0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE]);
+        roundtrip(&[0.0f32, 3.25]);
+        roundtrip(&[0u64, u64::MAX]);
+        roundtrip(&[i64::MIN, -1, 0, i64::MAX]);
+        roundtrip(&[0u32, u32::MAX]);
+        roundtrip(&[i32::MIN, 7]);
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        let mut buf = BytesMut::new();
+        f64::NAN.write(&mut buf);
+        let mut b = buf.freeze();
+        assert!(f64::read(&mut b).is_nan());
+    }
+}

@@ -1,0 +1,580 @@
+//! Loop-bound synthesis: turning a constraint system plus a loop ordering
+//! into the perfectly nested loop structure of Figure 3 of the paper.
+//!
+//! For the ordering `v1, v2, ..., vd` (outermost to innermost), the bounds of
+//! `vk` may reference only the input parameters and the outer variables
+//! `v1..v(k-1)`. They are obtained by Fourier–Motzkin-eliminating the inner
+//! variables `v(k+1)..vd` first, then reading the remaining constraints on
+//! `vk`:
+//!
+//! * `a·vk + rest >= 0` with `a > 0` yields the lower bound `ceil(-rest / a)`,
+//! * `a·vk + rest >= 0` with `a < 0` yields the upper bound `floor(rest / |a|)`.
+//!
+//! The effective bounds are the `max` of all lower bounds and the `min` of all
+//! upper bounds, exactly the `max`/`min` functions FM-generated loop nests use.
+
+use crate::error::PolyError;
+use crate::expr::LinExpr;
+use crate::fm;
+use crate::num;
+use crate::space::Space;
+use crate::system::ConstraintSystem;
+
+/// One affine bound `expr / divisor` (with `divisor > 0`). Lower bounds round
+/// up (`ceil`), upper bounds round down (`floor`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundExpr {
+    /// Numerator expression over the full space (zero coefficient on the
+    /// bounded variable itself and on all inner variables).
+    pub expr: LinExpr,
+    /// Positive divisor.
+    pub divisor: i128,
+}
+
+impl BoundExpr {
+    /// Evaluate as a lower bound: `ceil(expr(point) / divisor)`.
+    pub fn eval_lower(&self, point: &[i128]) -> Result<i128, PolyError> {
+        Ok(num::ceil_div(self.expr.eval(point)?, self.divisor))
+    }
+
+    /// Evaluate as an upper bound: `floor(expr(point) / divisor)`.
+    pub fn eval_upper(&self, point: &[i128]) -> Result<i128, PolyError> {
+        Ok(num::floor_div(self.expr.eval(point)?, self.divisor))
+    }
+}
+
+/// The bounds for one loop level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopLevel {
+    /// Column index of the loop variable in the space.
+    pub var: usize,
+    /// Lower bounds; the effective bound is their maximum.
+    pub lowers: Vec<BoundExpr>,
+    /// Upper bounds; the effective bound is their minimum.
+    pub uppers: Vec<BoundExpr>,
+}
+
+impl LoopLevel {
+    /// Concrete `[lb, ub]` at `point` (entries for this and inner variables
+    /// are ignored). `None` when empty.
+    pub fn bounds_at(&self, point: &[i128]) -> Result<Option<(i128, i128)>, PolyError> {
+        let mut lb = i128::MIN;
+        for b in &self.lowers {
+            lb = lb.max(b.eval_lower(point)?);
+        }
+        let mut ub = i128::MAX;
+        for b in &self.uppers {
+            ub = ub.min(b.eval_upper(point)?);
+        }
+        Ok((lb <= ub).then_some((lb, ub)))
+    }
+}
+
+/// A synthesised perfectly nested loop program over a [`Space`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    space: Space,
+    levels: Vec<LoopLevel>,
+    /// Constraints mentioning only parameters (and no loop variable): the
+    /// context that must hold for the nest to execute at all.
+    context: ConstraintSystem,
+}
+
+impl LoopNest {
+    /// Synthesise a loop nest scanning exactly the integer points of `sys`,
+    /// iterating the variables in `ordering` (outermost first).
+    ///
+    /// Every variable column of the space that appears in some constraint
+    /// must be listed in `ordering`; parameters must not be.
+    pub fn synthesize(sys: &ConstraintSystem, ordering: &[usize]) -> Result<LoopNest, PolyError> {
+        // Every used variable column must be covered by the ordering.
+        let space = sys.space();
+        for col in sys.used_columns() {
+            if space.kind(col) == crate::space::VarKind::Var && !ordering.contains(&col) {
+                return Err(PolyError::MissingVariable(space.name(col).to_string()));
+            }
+        }
+        LoopNest::synthesize_with_free(sys, ordering)
+    }
+
+    /// Like [`LoopNest::synthesize`], but columns not listed in `ordering`
+    /// are treated as free symbols bound at evaluation time, whatever their
+    /// [`crate::space::VarKind`]. This is how the generator builds *local*
+    /// (within-tile) loop nests, whose bounds reference the tile indices
+    /// `t_k` as runtime inputs (Figure 3 of the paper).
+    pub fn synthesize_with_free(
+        sys: &ConstraintSystem,
+        ordering: &[usize],
+    ) -> Result<LoopNest, PolyError> {
+        let space = sys.space().clone();
+        for &v in ordering {
+            if v >= space.dim() {
+                return Err(PolyError::SpaceMismatch {
+                    expected: space.dim(),
+                    found: v,
+                });
+            }
+        }
+
+        // Eliminate from the innermost outwards, reading bounds before each
+        // elimination.
+        let mut systems: Vec<ConstraintSystem> = Vec::with_capacity(ordering.len() + 1);
+        let mut cur = sys.clone();
+        cur.simplify();
+        systems.push(cur.clone());
+        for &v in ordering.iter().rev() {
+            cur = fm::eliminate(&cur, v)?;
+            systems.push(cur.clone());
+        }
+        // systems[j] has the last j ordering variables eliminated. The bounds
+        // for ordering[k] are read from systems[d - 1 - k].
+        let d = ordering.len();
+        let mut levels = Vec::with_capacity(d);
+        for (k, &v) in ordering.iter().enumerate() {
+            let sys_k = &systems[d - 1 - k];
+            let mut lowers = Vec::new();
+            let mut uppers = Vec::new();
+            for c in sys_k.constraints() {
+                let a = c.coeff(v);
+                if a == 0 {
+                    continue;
+                }
+                // a*v + rest >= 0 where rest = expr with v's coefficient zeroed.
+                let mut rest = c.expr().clone();
+                rest.set_coeff(v, 0);
+                if a > 0 {
+                    lowers.push(BoundExpr {
+                        expr: rest.neg(),
+                        divisor: a,
+                    });
+                } else {
+                    uppers.push(BoundExpr {
+                        expr: rest,
+                        divisor: -a,
+                    });
+                }
+            }
+            if lowers.is_empty() || uppers.is_empty() {
+                return Err(PolyError::Unbounded(space.name(v).to_string()));
+            }
+            levels.push(LoopLevel {
+                var: v,
+                lowers,
+                uppers,
+            });
+        }
+        let context = systems[d].clone();
+        Ok(LoopNest {
+            space,
+            levels,
+            context,
+        })
+    }
+
+    /// The space the nest scans.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The loop levels, outermost first.
+    pub fn levels(&self) -> &[LoopLevel] {
+        &self.levels
+    }
+
+    /// Parameter-only context constraints.
+    pub fn context(&self) -> &ConstraintSystem {
+        &self.context
+    }
+
+    /// Does the context admit this parameter assignment (loop-variable
+    /// entries of `point` are ignored by construction)?
+    pub fn context_holds(&self, point: &[i128]) -> Result<bool, PolyError> {
+        self.context.contains(point)
+    }
+
+    /// Visit every lattice point. `point` must be a full-space assignment
+    /// with parameters already set; loop-variable entries are overwritten.
+    /// The callback receives the full point for each iteration.
+    pub fn for_each_point<F: FnMut(&[i128])>(
+        &self,
+        point: &mut [i128],
+        mut f: F,
+    ) -> Result<(), PolyError> {
+        if point.len() != self.space.dim() {
+            return Err(PolyError::SpaceMismatch {
+                expected: self.space.dim(),
+                found: point.len(),
+            });
+        }
+        if !self.context_holds(point)? {
+            return Ok(());
+        }
+        self.walk(0, point, &mut f)
+    }
+
+    /// Like [`LoopNest::for_each_point`], but each level scans in the given
+    /// direction (`true` = descending, from the upper bound down — the
+    /// Figure 3 loop direction for positive template vectors).
+    ///
+    /// `descending` is indexed by level (outermost first) and must have one
+    /// entry per level.
+    pub fn for_each_point_directed<F: FnMut(&[i128])>(
+        &self,
+        point: &mut [i128],
+        descending: &[bool],
+        mut f: F,
+    ) -> Result<(), PolyError> {
+        if point.len() != self.space.dim() {
+            return Err(PolyError::SpaceMismatch {
+                expected: self.space.dim(),
+                found: point.len(),
+            });
+        }
+        if descending.len() != self.levels.len() {
+            return Err(PolyError::SpaceMismatch {
+                expected: self.levels.len(),
+                found: descending.len(),
+            });
+        }
+        if !self.context_holds(point)? {
+            return Ok(());
+        }
+        self.walk_directed(0, point, descending, &mut f)
+    }
+
+    fn walk<F: FnMut(&[i128])>(
+        &self,
+        depth: usize,
+        point: &mut [i128],
+        f: &mut F,
+    ) -> Result<(), PolyError> {
+        if depth == self.levels.len() {
+            f(point);
+            return Ok(());
+        }
+        let level = &self.levels[depth];
+        if let Some((lb, ub)) = level.bounds_at(point)? {
+            for v in lb..=ub {
+                point[level.var] = v;
+                self.walk(depth + 1, point, f)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn walk_directed<F: FnMut(&[i128])>(
+        &self,
+        depth: usize,
+        point: &mut [i128],
+        descending: &[bool],
+        f: &mut F,
+    ) -> Result<(), PolyError> {
+        if depth == self.levels.len() {
+            f(point);
+            return Ok(());
+        }
+        let level = &self.levels[depth];
+        if let Some((lb, ub)) = level.bounds_at(point)? {
+            if descending[depth] {
+                let mut v = ub;
+                while v >= lb {
+                    point[level.var] = v;
+                    self.walk_directed(depth + 1, point, descending, f)?;
+                    v -= 1;
+                }
+            } else {
+                for v in lb..=ub {
+                    point[level.var] = v;
+                    self.walk_directed(depth + 1, point, descending, f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count lattice points without materialising them: the innermost level
+    /// contributes its extent directly.
+    pub fn count(&self, point: &mut [i128]) -> Result<u128, PolyError> {
+        if point.len() != self.space.dim() {
+            return Err(PolyError::SpaceMismatch {
+                expected: self.space.dim(),
+                found: point.len(),
+            });
+        }
+        if self.levels.is_empty() {
+            return Ok(if self.context_holds(point)? { 1 } else { 0 });
+        }
+        if !self.context_holds(point)? {
+            return Ok(0);
+        }
+        self.count_from(0, point)
+    }
+
+    fn count_from(&self, depth: usize, point: &mut [i128]) -> Result<u128, PolyError> {
+        let level = &self.levels[depth];
+        let Some((lb, ub)) = level.bounds_at(point)? else {
+            return Ok(0);
+        };
+        if depth + 1 == self.levels.len() {
+            return Ok((ub - lb + 1) as u128);
+        }
+        let mut total: u128 = 0;
+        for v in lb..=ub {
+            point[level.var] = v;
+            total += self.count_from(depth + 1, point)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simplex2(n: &str) -> ConstraintSystem {
+        let space = Space::from_names(&["x", "y"], &[n]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text(&format!("x + y <= {n}")).unwrap();
+        sys
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let sys = simplex2("N");
+        let nest = LoopNest::synthesize(&sys, &[0, 1]).unwrap();
+        let mut pts = Vec::new();
+        let mut point = [0i128, 0, 3];
+        nest.for_each_point(&mut point, |p| pts.push((p[0], p[1]))).unwrap();
+        // Triangle with N = 3 has C(5, 2) = 10 points.
+        assert_eq!(pts.len(), 10);
+        assert!(pts.contains(&(0, 0)));
+        assert!(pts.contains(&(3, 0)));
+        assert!(pts.contains(&(0, 3)));
+        assert!(!pts.contains(&(2, 2)));
+        // Lexicographic in the given ordering.
+        let mut sorted = pts.clone();
+        sorted.sort();
+        assert_eq!(pts, sorted);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let sys = simplex2("N");
+        let nest = LoopNest::synthesize(&sys, &[0, 1]).unwrap();
+        for n in 0..12i128 {
+            let mut point = [0i128, 0, n];
+            let counted = nest.count(&mut point).unwrap();
+            let mut point2 = [0i128, 0, n];
+            let mut seen = 0u128;
+            nest.for_each_point(&mut point2, |_| seen += 1).unwrap();
+            assert_eq!(counted, seen, "N = {n}");
+            assert_eq!(counted, ((n + 1) * (n + 2) / 2) as u128);
+        }
+    }
+
+    #[test]
+    fn ordering_affects_visit_order_not_set() {
+        let sys = simplex2("N");
+        let nest_xy = LoopNest::synthesize(&sys, &[0, 1]).unwrap();
+        let nest_yx = LoopNest::synthesize(&sys, &[1, 0]).unwrap();
+        let collect = |nest: &LoopNest| {
+            let mut pts = Vec::new();
+            let mut point = [0i128, 0, 4];
+            nest.for_each_point(&mut point, |p| pts.push((p[0], p[1]))).unwrap();
+            pts
+        };
+        let mut a = collect(&nest_xy);
+        let mut b = collect(&nest_yx);
+        assert_ne!(a, b); // different orders
+        a.sort();
+        b.sort();
+        assert_eq!(a, b); // same set
+    }
+
+    #[test]
+    fn empty_context_skips_everything() {
+        // x in [0, N] with context N >= 2 enforced via a parameter-only
+        // constraint.
+        let space = Space::from_names(&["x"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("N >= 2").unwrap();
+        let nest = LoopNest::synthesize(&sys, &[0]).unwrap();
+        let mut count = 0;
+        let mut point = [0i128, 1]; // N = 1 violates context
+        nest.for_each_point(&mut point, |_| count += 1).unwrap();
+        assert_eq!(count, 0);
+        let mut point = [0i128, 2];
+        nest.for_each_point(&mut point, |_| count += 1).unwrap();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn unbounded_variable_is_rejected() {
+        let space = Space::from_names(&["x"], &[]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        assert_eq!(
+            LoopNest::synthesize(&sys, &[0]),
+            Err(PolyError::Unbounded("x".into()))
+        );
+    }
+
+    #[test]
+    fn missing_ordering_variable_is_rejected() {
+        let sys = simplex2("N");
+        assert!(matches!(
+            LoopNest::synthesize(&sys, &[0]),
+            Err(PolyError::MissingVariable(_))
+        ));
+    }
+
+    #[test]
+    fn directed_iteration_reverses_levels() {
+        let sys = simplex2("N");
+        let nest = LoopNest::synthesize(&sys, &[0, 1]).unwrap();
+        let collect = |desc: &[bool]| {
+            let mut pts = Vec::new();
+            let mut point = [0i128, 0, 2];
+            nest.for_each_point_directed(&mut point, desc, |p| pts.push((p[0], p[1])))
+                .unwrap();
+            pts
+        };
+        assert_eq!(
+            collect(&[false, false]),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0)]
+        );
+        assert_eq!(
+            collect(&[true, true]),
+            vec![(2, 0), (1, 1), (1, 0), (0, 2), (0, 1), (0, 0)]
+        );
+        assert_eq!(
+            collect(&[false, true]),
+            vec![(0, 2), (0, 1), (0, 0), (1, 1), (1, 0), (2, 0)]
+        );
+        // Wrong direction arity is rejected.
+        let mut point = [0i128, 0, 2];
+        assert!(nest
+            .for_each_point_directed(&mut point, &[true], |_| {})
+            .is_err());
+    }
+
+    #[test]
+    fn synthesize_with_free_treats_unordered_vars_as_symbols() {
+        // Scan y for a fixed x in the triangle: y in [0, N - x].
+        let sys = simplex2("N");
+        let nest = LoopNest::synthesize_with_free(&sys, &[1]).unwrap();
+        let mut pts = Vec::new();
+        let mut point = [2i128, 0, 5]; // x = 2, N = 5
+        nest.for_each_point(&mut point, |p| pts.push(p[1])).unwrap();
+        assert_eq!(pts, vec![0, 1, 2, 3]);
+        // The free column's constraints become part of the context: x = 9
+        // violates x + y <= N even at y = 0... only via y >= 0 pairing, which
+        // FM captures when eliminating y.
+        let mut point = [9i128, 0, 5];
+        let mut count = 0;
+        nest.for_each_point(&mut point, |_| count += 1).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn strided_constraints_round_correctly() {
+        // 2 <= 3x <= 10  =>  x in {1, 2, 3}
+        let space = Space::from_names(&["x"], &[]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("2 <= 3*x").unwrap();
+        sys.add_text("3*x <= 10").unwrap();
+        let nest = LoopNest::synthesize(&sys, &[0]).unwrap();
+        let mut pts = Vec::new();
+        let mut point = [0i128];
+        nest.for_each_point(&mut point, |p| pts.push(p[0])).unwrap();
+        assert_eq!(pts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bandit_4d_count() {
+        // |{(s1,f1,s2,f2) >= 0 : sum <= N}| = C(N+4, 4)
+        let space = Space::from_names(&["s1", "f1", "s2", "f2"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("s1 + f1 + s2 + f2 <= N").unwrap();
+        for v in ["s1", "f1", "s2", "f2"] {
+            sys.add_text(&format!("{v} >= 0")).unwrap();
+        }
+        let nest = LoopNest::synthesize(&sys, &[0, 1, 2, 3]).unwrap();
+        for n in [0i128, 1, 5, 10] {
+            let mut point = [0i128, 0, 0, 0, n];
+            let count = nest.count(&mut point).unwrap();
+            let binom = ((n + 1) * (n + 2) * (n + 3) * (n + 4) / 24) as u128;
+            assert_eq!(count, binom, "N = {n}");
+        }
+    }
+
+    fn random_bounded_system() -> impl Strategy<Value = ConstraintSystem> {
+        let coeff = -3i128..4;
+        proptest::collection::vec((coeff.clone(), coeff.clone(), coeff, -10i128..11), 0..4)
+            .prop_map(|extra| {
+                let space = Space::from_names(&["x", "y", "z"], &[]).unwrap();
+                let mut sys = ConstraintSystem::new(space);
+                for v in ["x", "y", "z"] {
+                    sys.add_text(&format!("-4 <= {v} <= 4")).unwrap();
+                }
+                for (a, b, c, k) in extra {
+                    sys.add(crate::constraint::Constraint::ge0(
+                        LinExpr::from_parts(vec![a, b, c], k),
+                    ))
+                    .unwrap();
+                }
+                sys
+            })
+    }
+
+    proptest! {
+        /// The loop nest enumerates exactly the lattice points of the system,
+        /// for any variable ordering.
+        #[test]
+        fn nest_scans_exactly_the_polytope(
+            sys in random_bounded_system(),
+            perm in Just(()).prop_flat_map(|_| proptest::sample::select(vec![
+                vec![0usize, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+                vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+            ])),
+        ) {
+            let nest = LoopNest::synthesize(&sys, &perm).unwrap();
+            let mut scanned = std::collections::BTreeSet::new();
+            let mut point = [0i128, 0, 0];
+            nest.for_each_point(&mut point, |p| {
+                scanned.insert((p[0], p[1], p[2]));
+            }).unwrap();
+            let mut expect = std::collections::BTreeSet::new();
+            for x in -4i128..=4 {
+                for y in -4i128..=4 {
+                    for z in -4i128..=4 {
+                        if sys.contains(&[x, y, z]).unwrap() {
+                            expect.insert((x, y, z));
+                        }
+                    }
+                }
+            }
+            // Every scanned point is in the polytope, and vice versa.
+            // (FM over-approximation can only create empty inner loops, not
+            // spurious *points*: the innermost level's bounds come from the
+            // full original system, which is exact per-fibre.)
+            prop_assert_eq!(scanned, expect);
+        }
+
+        /// `count` always agrees with enumeration.
+        #[test]
+        fn count_equals_enumeration(sys in random_bounded_system()) {
+            let nest = LoopNest::synthesize(&sys, &[0, 1, 2]).unwrap();
+            let mut point = [0i128, 0, 0];
+            let counted = nest.count(&mut point).unwrap();
+            let mut point2 = [0i128, 0, 0];
+            let mut seen = 0u128;
+            nest.for_each_point(&mut point2, |_| seen += 1).unwrap();
+            prop_assert_eq!(counted, seen);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Exact lattice-point counting.
+//!
+//! This is the ground-truth counter the Ehrhart interpolation in
+//! [`crate::ehrhart`] is validated against, and the runtime fallback the load
+//! balancer can use when a counting polynomial is not available.
+
+use crate::bounds::LoopNest;
+use crate::error::PolyError;
+use crate::system::ConstraintSystem;
+
+/// Count the integer points of `sys` for a concrete parameter assignment.
+///
+/// `point` is a full-space assignment whose parameter entries are read and
+/// whose variable entries are scratch space. Variables are scanned in column
+/// order (the count is order-independent).
+pub fn count_points(sys: &ConstraintSystem, point: &mut [i128]) -> Result<u128, PolyError> {
+    let ordering = sys.space().var_indices();
+    let nest = LoopNest::synthesize(sys, &ordering)?;
+    nest.count(point)
+}
+
+/// Count the integer points of `sys` restricted by extra constraints, without
+/// mutating `sys`. Convenience for slab/plane counting in the load balancer.
+pub fn count_points_with(
+    sys: &ConstraintSystem,
+    extra: &[crate::constraint::Constraint],
+    point: &mut [i128],
+) -> Result<u128, PolyError> {
+    let mut restricted = sys.clone();
+    for c in extra {
+        restricted.add(c.clone())?;
+    }
+    restricted.simplify();
+    if restricted.is_trivially_infeasible() {
+        return Ok(0);
+    }
+    count_points(&restricted, point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::expr::LinExpr;
+    use crate::space::Space;
+
+    fn simplex(d: usize) -> ConstraintSystem {
+        let vars: Vec<String> = (0..d).map(|k| format!("x{k}")).collect();
+        let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        let space = Space::from_names(&refs, &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        let sum = vars.join(" + ");
+        sys.add_text(&format!("{sum} <= N")).unwrap();
+        for v in &vars {
+            sys.add_text(&format!("{v} >= 0")).unwrap();
+        }
+        sys
+    }
+
+    fn binom(n: i128, k: i128) -> u128 {
+        let mut num = 1u128;
+        let mut den = 1u128;
+        for j in 0..k {
+            num *= (n - j) as u128;
+            den *= (j + 1) as u128;
+        }
+        num / den
+    }
+
+    #[test]
+    fn simplex_counts_are_binomials() {
+        for d in 1..=4usize {
+            let sys = simplex(d);
+            for n in [0i128, 1, 3, 7] {
+                let mut point = vec![0i128; d + 1];
+                point[d] = n;
+                assert_eq!(
+                    count_points(&sys, &mut point).unwrap(),
+                    binom(n + d as i128, d as i128),
+                    "d = {d}, N = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_counts_zero() {
+        let base = {
+            let space = Space::from_names(&["x"], &[]).unwrap();
+            let mut s = ConstraintSystem::new(space);
+            s.add_text("0 <= x <= 9").unwrap();
+            s
+        };
+        let extra = vec![
+            Constraint::ge0(LinExpr::from_parts(vec![1], -4)),  // x >= 4
+            Constraint::ge0(LinExpr::from_parts(vec![-1], 2)),  // x <= 2
+        ];
+        let mut point = [0i128];
+        assert_eq!(count_points_with(&base, &extra, &mut point).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_with_slab_restriction() {
+        // Triangle x+y <= N, slab 2 <= x <= 3 at N = 5:
+        // x=2 -> 4 points, x=3 -> 3 points.
+        let sys = {
+            let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+            let mut s = ConstraintSystem::new(space);
+            s.add_text("x >= 0").unwrap();
+            s.add_text("y >= 0").unwrap();
+            s.add_text("x + y <= N").unwrap();
+            s
+        };
+        let extra = vec![
+            Constraint::ge0(LinExpr::from_parts(vec![1, 0, 0], -2)),  // x >= 2
+            Constraint::ge0(LinExpr::from_parts(vec![-1, 0, 0], 3)),  // x <= 3
+        ];
+        let mut point = [0i128, 0, 5];
+        assert_eq!(count_points_with(&sys, &extra, &mut point).unwrap(), 7);
+    }
+}

@@ -1,0 +1,291 @@
+//! Ehrhart quasi-polynomial reconstruction by exact interpolation.
+//!
+//! The paper uses the Barvinok library to compute Ehrhart polynomials —
+//! polynomials counting the integer points of a parameterised polytope — and
+//! emits them as code evaluated at run time by the load balancer
+//! (Section IV-J). We substitute Barvinok with interpolation: sample the
+//! exact count at `degree + 1` parameter values per residue class (tiled
+//! spaces are *quasi*-polynomials whose period divides the lcm of the tile
+//! widths), then solve for the coefficients in exact rational arithmetic.
+//!
+//! The reconstruction is validated against extra samples, so a wrong degree
+//! or period is reported as an error instead of silently mis-counting.
+
+use crate::error::PolyError;
+use crate::rational::Rational;
+
+/// A univariate quasi-polynomial `q(n)`: for `n ≡ r (mod period)` the value
+/// is `polys[r]` evaluated at `n`. Coefficients are exact rationals; values
+/// at integer arguments are guaranteed integers (checked at evaluation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuasiPolynomial {
+    period: usize,
+    /// `polys[r][k]` is the coefficient of `n^k` for the residue class `r`.
+    polys: Vec<Vec<Rational>>,
+}
+
+impl QuasiPolynomial {
+    /// Reconstruct a quasi-polynomial of the given `degree` and `period` from
+    /// the exact counter `f`, sampling from `start` upwards, and verify it
+    /// against `verify` additional samples per residue class.
+    ///
+    /// `f(n)` must be the true count for every sampled `n >= start`.
+    pub fn interpolate<F: FnMut(i128) -> i128>(
+        degree: usize,
+        period: usize,
+        start: i128,
+        verify: usize,
+        mut f: F,
+    ) -> Result<QuasiPolynomial, PolyError> {
+        if period == 0 {
+            return Err(PolyError::Interpolation("period must be >= 1".into()));
+        }
+        let mut polys = Vec::with_capacity(period);
+        for r in 0..period {
+            // Sample n = first + period * j for j = 0..=degree, where `first`
+            // is the smallest n >= start with n ≡ r (mod period).
+            let first = first_congruent(start, r as i128, period as i128);
+            let xs: Vec<i128> = (0..=degree as i128)
+                .map(|j| first + period as i128 * j)
+                .collect();
+            let ys: Vec<i128> = xs.iter().map(|&n| f(n)).collect();
+            let coeffs = fit_polynomial(&xs, &ys)?;
+            // Verification samples beyond the fitting window.
+            for j in 1..=verify as i128 {
+                let n = first + period as i128 * (degree as i128 + j);
+                let predicted = eval_poly(&coeffs, n);
+                let actual = Rational::from_int(f(n));
+                if predicted != actual {
+                    return Err(PolyError::Interpolation(format!(
+                        "degree {degree} / period {period} does not fit: at n = {n} \
+                         predicted {predicted}, actual {actual}"
+                    )));
+                }
+            }
+            polys.push(coeffs);
+        }
+        Ok(QuasiPolynomial { period, polys })
+    }
+
+    /// The period of the quasi-polynomial (1 for a plain polynomial).
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Coefficients (low to high degree) for residue class `r`.
+    pub fn coefficients(&self, r: usize) -> &[Rational] {
+        &self.polys[r]
+    }
+
+    /// Evaluate at `n`. Errors if the value is not an integer (which means
+    /// the polynomial was reconstructed from inconsistent data).
+    pub fn eval(&self, n: i128) -> Result<i128, PolyError> {
+        let r = n.rem_euclid(self.period as i128) as usize;
+        let v = eval_poly(&self.polys[r], n);
+        v.to_integer().ok_or_else(|| {
+            PolyError::Interpolation(format!("non-integer value {v} at n = {n}"))
+        })
+    }
+
+    /// Degree of the highest nonzero coefficient across all residue classes.
+    pub fn degree(&self) -> usize {
+        self.polys
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .rposition(|c| !c.is_zero())
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn first_congruent(start: i128, r: i128, period: i128) -> i128 {
+    let offset = (r - start).rem_euclid(period);
+    start + offset
+}
+
+/// Evaluate a rational-coefficient polynomial at an integer via Horner.
+fn eval_poly(coeffs: &[Rational], n: i128) -> Rational {
+    let x = Rational::from_int(n);
+    let mut acc = Rational::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Fit the unique polynomial of degree `xs.len() - 1` through the points
+/// `(xs[k], ys[k])` using Newton's divided differences, returning monomial
+/// coefficients (low to high).
+fn fit_polynomial(xs: &[i128], ys: &[i128]) -> Result<Vec<Rational>, PolyError> {
+    let m = xs.len();
+    if m == 0 || ys.len() != m {
+        return Err(PolyError::Interpolation("empty or mismatched samples".into()));
+    }
+    // Divided-difference table.
+    let mut dd: Vec<Rational> = ys.iter().map(|&y| Rational::from_int(y)).collect();
+    let mut newton = vec![dd[0]]; // dd[0], then successive leading entries
+    for order in 1..m {
+        for k in 0..m - order {
+            let dx = xs[k + order] - xs[k];
+            if dx == 0 {
+                return Err(PolyError::Interpolation("repeated sample point".into()));
+            }
+            dd[k] = (dd[k + 1] - dd[k]) / Rational::from_int(dx);
+        }
+        newton.push(dd[0]);
+    }
+    // Expand Newton form sum_j newton[j] * prod_{k<j} (x - xs[k]) into
+    // monomial coefficients.
+    let mut coeffs = vec![Rational::ZERO; m];
+    let mut basis = vec![Rational::ZERO; m]; // current product polynomial
+    basis[0] = Rational::ONE;
+    let mut basis_deg = 0usize;
+    for (j, &c) in newton.iter().enumerate() {
+        for k in 0..=basis_deg {
+            coeffs[k] = coeffs[k] + c * basis[k];
+        }
+        if j + 1 < m {
+            // basis *= (x - xs[j])
+            let shift = Rational::from_int(xs[j]);
+            let mut next = vec![Rational::ZERO; m];
+            for k in 0..=basis_deg {
+                next[k + 1] = next[k + 1] + basis[k];
+                next[k] = next[k] - shift * basis[k];
+            }
+            basis = next;
+            basis_deg += 1;
+        }
+    }
+    Ok(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_points;
+    use crate::space::Space;
+    use crate::system::ConstraintSystem;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_quadratic() {
+        // y = n^2 + 1
+        let xs = [0i128, 1, 2];
+        let ys = [1i128, 2, 5];
+        let c = fit_polynomial(&xs, &ys).unwrap();
+        assert_eq!(c[0], Rational::from_int(1));
+        assert_eq!(c[1], Rational::ZERO);
+        assert_eq!(c[2], Rational::from_int(1));
+    }
+
+    #[test]
+    fn fit_triangle_numbers() {
+        // T(n) = (n+1)(n+2)/2 = 1 + 3n/2 + n^2/2
+        let xs = [0i128, 1, 2];
+        let ys = [1i128, 3, 6];
+        let c = fit_polynomial(&xs, &ys).unwrap();
+        assert_eq!(c[0], Rational::from_int(1));
+        assert_eq!(c[1], Rational::new(3, 2));
+        assert_eq!(c[2], Rational::new(1, 2));
+    }
+
+    #[test]
+    fn fit_rejects_repeated_points() {
+        assert!(fit_polynomial(&[1, 1], &[2, 3]).is_err());
+        assert!(fit_polynomial(&[], &[]).is_err());
+        assert!(fit_polynomial(&[1, 2], &[3]).is_err());
+    }
+
+    #[test]
+    fn interpolate_simplex_counts() {
+        // d-simplex count C(N+d, d) is a degree-d polynomial in N.
+        for d in 1..=4usize {
+            let vars: Vec<String> = (0..d).map(|k| format!("x{k}")).collect();
+            let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            let space = Space::from_names(&refs, &["N"]).unwrap();
+            let mut sys = ConstraintSystem::new(space);
+            sys.add_text(&format!("{} <= N", vars.join(" + "))).unwrap();
+            for v in &vars {
+                sys.add_text(&format!("{v} >= 0")).unwrap();
+            }
+            let q = QuasiPolynomial::interpolate(d, 1, 0, 2, |n| {
+                let mut point = vec![0i128; d + 1];
+                point[d] = n;
+                count_points(&sys, &mut point).unwrap() as i128
+            })
+            .unwrap();
+            assert_eq!(q.degree(), d);
+            for n in [0i128, 5, 20, 100] {
+                let mut point = vec![0i128; d + 1];
+                point[d] = n;
+                assert_eq!(
+                    q.eval(n).unwrap() as u128,
+                    count_points(&sys, &mut point).unwrap(),
+                    "d = {d}, N = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_polynomial_with_period() {
+        // floor(n/2) + 1 = number of even integers in [0, n]: a genuine
+        // quasi-polynomial of degree 1, period 2.
+        let f = |n: i128| n / 2 + 1;
+        let q = QuasiPolynomial::interpolate(1, 2, 0, 3, f).unwrap();
+        for n in 0..30i128 {
+            assert_eq!(q.eval(n).unwrap(), f(n), "n = {n}");
+        }
+        // Period 1 cannot fit it: the verification pass must fail.
+        assert!(QuasiPolynomial::interpolate(1, 1, 0, 3, f).is_err());
+    }
+
+    #[test]
+    fn too_small_degree_is_detected() {
+        assert!(QuasiPolynomial::interpolate(1, 1, 0, 2, |n| n * n).is_err());
+    }
+
+    #[test]
+    fn tile_count_quasi_polynomial() {
+        // Number of tiles of width 3 covering [0, n]: floor(n/3) + 1.
+        // Degree 1, period 3.
+        let f = |n: i128| n / 3 + 1;
+        let q = QuasiPolynomial::interpolate(1, 3, 0, 3, f).unwrap();
+        for n in 0..40i128 {
+            assert_eq!(q.eval(n).unwrap(), f(n));
+        }
+    }
+
+    #[test]
+    fn first_congruent_examples() {
+        assert_eq!(first_congruent(0, 2, 3), 2);
+        assert_eq!(first_congruent(4, 2, 3), 5);
+        assert_eq!(first_congruent(5, 2, 3), 5);
+        assert_eq!(first_congruent(6, 0, 3), 6);
+    }
+
+    proptest! {
+        /// Interpolation reproduces arbitrary integer cubics exactly.
+        #[test]
+        fn reproduces_cubics(a in -9i128..9, b in -9i128..9, c in -9i128..9, d in -9i128..9) {
+            let f = move |n: i128| a * n * n * n + b * n * n + c * n + d;
+            let q = QuasiPolynomial::interpolate(3, 1, 0, 2, f).unwrap();
+            for n in [-5i128, 0, 7, 42, 1000] {
+                prop_assert_eq!(q.eval(n).unwrap(), f(n));
+            }
+        }
+
+        /// Quasi-polynomials with period 2 and per-class linear behaviour.
+        #[test]
+        fn reproduces_period2(a0 in -5i128..5, b0 in -5i128..5, a1 in -5i128..5, b1 in -5i128..5) {
+            let f = move |n: i128| if n.rem_euclid(2) == 0 { a0 * n + b0 } else { a1 * n + b1 };
+            let q = QuasiPolynomial::interpolate(1, 2, 0, 2, f).unwrap();
+            for n in 0..20i128 {
+                prop_assert_eq!(q.eval(n).unwrap(), f(n));
+            }
+        }
+    }
+}

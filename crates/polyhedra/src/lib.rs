@@ -1,0 +1,43 @@
+//! Polyhedral substrate for the `dpgen` program generator.
+//!
+//! This crate provides the exact-arithmetic geometry layer that the paper's
+//! generator is built on (Sections IV-D through IV-H of VandenBerg & Stout,
+//! *Automatic Hybrid OpenMP + MPI Program Generation for Dynamic Programming
+//! Problems*, CLUSTER 2011):
+//!
+//! * [`LinExpr`] — affine expressions with `i128` coefficients over a named
+//!   [`Space`] of loop variables and input parameters,
+//! * [`ConstraintSystem`] — conjunctions of affine inequalities (`expr >= 0`)
+//!   describing iteration spaces (parameterised polytopes),
+//! * [`fm`] — Fourier–Motzkin elimination with redundancy removal, the
+//!   paper's chosen projection method (Section IV-D),
+//! * [`LoopNest`] — loop-bound synthesis: perfectly nested loops whose bounds
+//!   are `max`/`min` of affine ceil/floor divisions (Figure 3 of the paper),
+//! * [`count`] — exact lattice-point counting by recursive descent,
+//! * [`ehrhart`] — Ehrhart quasi-polynomial reconstruction by interpolation,
+//!   our substitute for the Barvinok library used by the paper (Section IV-J).
+//!
+//! All arithmetic is exact (`i128` with overflow checks, rationals for
+//! interpolation); there is no floating point anywhere in this crate.
+
+pub mod bounds;
+pub mod constraint;
+pub mod count;
+pub mod ehrhart;
+pub mod error;
+pub mod expr;
+pub mod fm;
+pub mod num;
+pub mod rational;
+pub mod space;
+pub mod system;
+
+pub use bounds::{BoundExpr, LoopLevel, LoopNest};
+pub use constraint::Constraint;
+pub use count::count_points;
+pub use ehrhart::QuasiPolynomial;
+pub use error::PolyError;
+pub use expr::LinExpr;
+pub use rational::Rational;
+pub use space::{Space, VarKind};
+pub use system::ConstraintSystem;

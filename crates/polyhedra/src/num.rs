@@ -1,0 +1,163 @@
+//! Exact integer helpers: gcd/lcm, floor/ceil division, checked arithmetic.
+//!
+//! Fourier–Motzkin elimination multiplies constraint coefficients together,
+//! so every arithmetic operation in this crate goes through the checked
+//! helpers here; coefficient growth is then contained by gcd normalisation
+//! after every elimination step.
+
+use crate::error::PolyError;
+
+/// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i128
+}
+
+/// Least common multiple. Panics on overflow (coefficients in this crate are
+/// gcd-normalised, keeping magnitudes small).
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Floor division: largest `q` with `q * d <= n`. Requires `d > 0`.
+pub fn floor_div(n: i128, d: i128) -> i128 {
+    debug_assert!(d > 0, "floor_div requires positive divisor");
+    let q = n / d;
+    if n % d != 0 && n < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division: smallest `q` with `q * d >= n`. Requires `d > 0`.
+pub fn ceil_div(n: i128, d: i128) -> i128 {
+    debug_assert!(d > 0, "ceil_div requires positive divisor");
+    let q = n / d;
+    if n % d != 0 && n > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Checked multiply that surfaces overflow as a [`PolyError`].
+pub fn mul(a: i128, b: i128) -> Result<i128, PolyError> {
+    a.checked_mul(b).ok_or(PolyError::Overflow("multiplication"))
+}
+
+/// Checked add that surfaces overflow as a [`PolyError`].
+pub fn add(a: i128, b: i128) -> Result<i128, PolyError> {
+    a.checked_add(b).ok_or(PolyError::Overflow("addition"))
+}
+
+/// Checked subtract that surfaces overflow as a [`PolyError`].
+pub fn sub(a: i128, b: i128) -> Result<i128, PolyError> {
+    a.checked_sub(b).ok_or(PolyError::Overflow("subtraction"))
+}
+
+/// gcd of a slice (non-negative; 0 for an all-zero or empty slice).
+pub fn gcd_slice(xs: &[i128]) -> i128 {
+    xs.iter().fold(0, |acc, &x| gcd(acc, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+        assert_eq!(gcd(i128::MIN + 1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(1, 1), 1);
+    }
+
+    #[test]
+    fn floor_ceil_div_signs() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(floor_div(-6, 3), -2);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(6, 3), 2);
+        assert_eq!(ceil_div(-6, 3), -2);
+        assert_eq!(ceil_div(0, 5), 0);
+        assert_eq!(floor_div(0, 5), 0);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert!(mul(i128::MAX, 2).is_err());
+        assert!(add(i128::MAX, 1).is_err());
+        assert!(sub(i128::MIN, 1).is_err());
+        assert_eq!(mul(3, 4).unwrap(), 12);
+    }
+
+    #[test]
+    fn gcd_slice_basics() {
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[-4, 6]), 2);
+        assert_eq!(gcd_slice(&[5]), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn floor_div_is_floor(n in -10_000i128..10_000, d in 1i128..100) {
+            let q = floor_div(n, d);
+            prop_assert!(q * d <= n);
+            prop_assert!((q + 1) * d > n);
+        }
+
+        #[test]
+        fn ceil_div_is_ceil(n in -10_000i128..10_000, d in 1i128..100) {
+            let q = ceil_div(n, d);
+            prop_assert!(q * d >= n);
+            prop_assert!((q - 1) * d < n);
+        }
+
+        #[test]
+        fn gcd_divides_both(a in -10_000i128..10_000, b in -10_000i128..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn lcm_is_common_multiple(a in 1i128..1000, b in 1i128..1000) {
+            let m = lcm(a, b);
+            prop_assert_eq!(m % a, 0);
+            prop_assert_eq!(m % b, 0);
+            prop_assert!(m <= a * b);
+        }
+    }
+}

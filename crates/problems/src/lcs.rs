@@ -1,0 +1,212 @@
+//! Longest common subsequence of 2 or 3 strings (Section I cites LCS of
+//! multiple DNA strands as a motivating problem).
+//!
+//! `L(i1, …, id)` = length of the LCS of the prefixes of lengths `i_k`.
+//! Dependencies: the all-ones negative diagonal (when every string's next
+//! character matches) plus the `d` single-dimension moves.
+
+use dpgen_core::spec::SpecTemplate;
+use dpgen_core::{ProblemSpec, Program, ProgramError};
+use dpgen_runtime::Kernel;
+use dpgen_tiling::tiling::CellRef;
+
+/// LCS over `d` byte strings (`d` = 2 or 3 supported by [`Lcs::spec`]).
+#[derive(Debug, Clone)]
+pub struct Lcs {
+    /// The strings.
+    pub seqs: Vec<Vec<u8>>,
+}
+
+impl Lcs {
+    /// New LCS problem over the given strings.
+    pub fn new(seqs: &[&[u8]]) -> Lcs {
+        assert!(
+            (2..=3).contains(&seqs.len()),
+            "2 or 3 strings supported"
+        );
+        Lcs {
+            seqs: seqs.iter().map(|s| s.to_vec()).collect(),
+        }
+    }
+
+    /// The high-level problem description for `d` strings with the given
+    /// tile width. Parameters `L1..Ld` are the string lengths.
+    pub fn spec(d: usize, width: i64) -> ProblemSpec {
+        assert!((2..=3).contains(&d));
+        let vars: Vec<String> = (1..=d).map(|k| format!("i{k}")).collect();
+        let params: Vec<String> = (1..=d).map(|k| format!("L{k}")).collect();
+        let mut templates = Vec::new();
+        // Single-dimension moves first, then the diagonal (template ids in
+        // that order are what the kernel expects).
+        for k in 0..d {
+            let mut offsets = vec![0i64; d];
+            offsets[k] = -1;
+            templates.push(SpecTemplate {
+                name: format!("skip{}", k + 1),
+                offsets,
+            });
+        }
+        templates.push(SpecTemplate {
+            name: "all".into(),
+            offsets: vec![-1; d],
+        });
+        ProblemSpec {
+            name: format!("lcs{d}"),
+            constraints: vars
+                .iter()
+                .zip(&params)
+                .map(|(v, p)| format!("0 <= {v} <= {p}"))
+                .collect(),
+            vars,
+            params,
+            templates,
+            order: vec![],
+            load_balance: vec!["i1".into()],
+            widths: vec![width; d],
+            center_code: "/* see the Rust kernel; C rendering omitted for brevity */\nV[loc] = 0;".into(),
+            init_code: String::new(),
+            defines: String::new(),
+            value_type: "long".into(),
+        }
+    }
+
+    /// Generate the program.
+    pub fn program(d: usize, width: i64) -> Result<Program, ProgramError> {
+        Program::from_spec(Lcs::spec(d, width))
+    }
+
+    /// String-length parameters for a run.
+    pub fn params(&self) -> Vec<i64> {
+        self.seqs.iter().map(|s| s.len() as i64).collect()
+    }
+
+    /// The goal coordinates (full prefixes).
+    pub fn goal(&self) -> Vec<i64> {
+        self.params()
+    }
+
+    /// Dense reference solver (2 or 3 strings).
+    pub fn solve_dense(&self) -> i64 {
+        match self.seqs.len() {
+            2 => {
+                let (a, b) = (&self.seqs[0], &self.seqs[1]);
+                let mut l = vec![vec![0i64; b.len() + 1]; a.len() + 1];
+                for i in 1..=a.len() {
+                    for j in 1..=b.len() {
+                        l[i][j] = if a[i - 1] == b[j - 1] {
+                            l[i - 1][j - 1] + 1
+                        } else {
+                            l[i - 1][j].max(l[i][j - 1])
+                        };
+                    }
+                }
+                l[a.len()][b.len()]
+            }
+            3 => {
+                let (a, b, c) = (&self.seqs[0], &self.seqs[1], &self.seqs[2]);
+                let mut l =
+                    vec![vec![vec![0i64; c.len() + 1]; b.len() + 1]; a.len() + 1];
+                for i in 1..=a.len() {
+                    for j in 1..=b.len() {
+                        for k in 1..=c.len() {
+                            l[i][j][k] = if a[i - 1] == b[j - 1] && b[j - 1] == c[k - 1] {
+                                l[i - 1][j - 1][k - 1] + 1
+                            } else {
+                                l[i - 1][j][k].max(l[i][j - 1][k]).max(l[i][j][k - 1])
+                            };
+                        }
+                    }
+                }
+                l[a.len()][b.len()][c.len()]
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl Kernel<i64> for Lcs {
+    fn compute(&self, cell: CellRef<'_>, values: &mut [i64]) {
+        let d = self.seqs.len();
+        // Any zero coordinate: empty prefix, LCS length 0.
+        if cell.x.iter().any(|&c| c == 0) {
+            values[cell.loc] = 0;
+            return;
+        }
+        // All coordinates >= 1: all templates are valid (box space).
+        let all_match = {
+            let first = self.seqs[0][(cell.x[0] - 1) as usize];
+            (1..d).all(|k| self.seqs[k][(cell.x[k] - 1) as usize] == first)
+        };
+        if all_match {
+            values[cell.loc] = values[cell.loc_r(d)] + 1;
+        } else {
+            values[cell.loc] = (0..d).map(|k| values[cell.loc_r(k)]).max().unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sequence;
+    use dpgen_runtime::Probe;
+
+    fn run_tiled(problem: &Lcs, width: i64) -> i64 {
+        let program = Lcs::program(problem.seqs.len(), width).unwrap();
+        let res = program.run_shared::<i64, _>(
+            &problem.params(),
+            problem,
+            &Probe::at(&problem.goal()),
+            2,
+        );
+        res.probes[0].unwrap()
+    }
+
+    #[test]
+    fn known_lcs2() {
+        let p = Lcs::new(&[b"ABCBDAB", b"BDCABA"]);
+        assert_eq!(p.solve_dense(), 4); // "BCAB" or "BDAB"
+        assert_eq!(run_tiled(&p, 3), 4);
+    }
+
+    #[test]
+    fn known_lcs3() {
+        let p = Lcs::new(&[b"AGGT12", b"12TXAYB", b"12XBA"]);
+        assert_eq!(p.solve_dense(), 2); // "12"
+        assert_eq!(run_tiled(&p, 2), 2);
+    }
+
+    #[test]
+    fn tiled_matches_dense_on_random_dna() {
+        let a = random_sequence(35, 10);
+        let b = random_sequence(28, 11);
+        let p2 = Lcs::new(&[&a, &b]);
+        let want = p2.solve_dense();
+        for w in [2i64, 5, 40] {
+            assert_eq!(run_tiled(&p2, w), want, "width {w}");
+        }
+        let c = random_sequence(15, 12);
+        let p3 = Lcs::new(&[&a[..15], &b[..12], &c]);
+        assert_eq!(run_tiled(&p3, 4), p3.solve_dense());
+    }
+
+    #[test]
+    fn lcs3_is_at_most_pairwise_min() {
+        let a = random_sequence(20, 20);
+        let b = random_sequence(20, 21);
+        let c = random_sequence(20, 22);
+        let l3 = Lcs::new(&[&a, &b, &c]).solve_dense();
+        let lab = Lcs::new(&[&a, &b]).solve_dense();
+        let lbc = Lcs::new(&[&b, &c]).solve_dense();
+        let lac = Lcs::new(&[&a, &c]).solve_dense();
+        assert!(l3 <= lab.min(lbc).min(lac));
+    }
+
+    #[test]
+    fn identical_strings_have_full_lcs() {
+        let a = random_sequence(25, 30);
+        let p = Lcs::new(&[&a, &a]);
+        assert_eq!(p.solve_dense(), 25);
+        assert_eq!(run_tiled(&p, 6), 25);
+    }
+}

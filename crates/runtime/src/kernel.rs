@@ -1,0 +1,44 @@
+//! The user-supplied center-loop code.
+//!
+//! In the paper the user writes C/C++ statements that read `V[loc_r1]` …
+//! and write `V[loc]` (Section IV-B). Here the equivalent is a [`Kernel`]:
+//! a function from a [`CellRef`] (which carries `loc`, the per-template
+//! offsets and `is_valid` flags, and the global coordinates) and the tile's
+//! value buffer to an updated buffer.
+//!
+//! The same restrictions as in the paper apply: the kernel must write only
+//! `values[cell.loc]`, must not read a dependency whose `valid` flag is
+//! false, and must not rely on any particular cell ordering beyond
+//! dependency validity.
+
+use dpgen_tiling::tiling::CellRef;
+
+/// Element types storable in the state array.
+pub trait Value: Copy + Default + Send + Sync + 'static {}
+impl<T: Copy + Default + Send + Sync + 'static> Value for T {}
+
+/// The center-loop computation for a single cell.
+pub trait Kernel<T: Value>: Send + Sync {
+    /// Compute `values[cell.loc]` from its dependencies.
+    fn compute(&self, cell: CellRef<'_>, values: &mut [T]);
+}
+
+impl<T: Value, F: Fn(CellRef<'_>, &mut [T]) + Send + Sync> Kernel<T> for F {
+    fn compute(&self, cell: CellRef<'_>, values: &mut [T]) {
+        self(cell, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_kernels() {
+        fn assert_kernel<T: Value, K: Kernel<T>>(_k: &K) {}
+        let k = |cell: CellRef<'_>, values: &mut [f64]| {
+            values[cell.loc] = cell.x[0] as f64;
+        };
+        assert_kernel(&k);
+    }
+}

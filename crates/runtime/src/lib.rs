@@ -1,0 +1,43 @@
+//! Shared-memory node runtime for `dpgen`-generated programs.
+//!
+//! This crate is the Rust equivalent of the OpenMP layer of the programs the
+//! paper's generator emits (Section V): on one node, a pool of worker
+//! threads repeatedly
+//!
+//! 1. gets the next available tile from a shared priority queue,
+//! 2. unpacks the buffered edge data into the tile's ghost cells,
+//! 3. executes the tile (the user's center-loop code),
+//! 4. packs each valid outgoing edge and updates neighbouring tiles (or
+//!    hands the edge to a [`Transport`] for another node),
+//! 5. adds any newly ready tiles to the priority queue,
+//! 6. polls for incoming edges when the lock is available.
+//!
+//! Only *pending* tiles (those with at least one satisfied dependency) are
+//! tracked, and only *executing* tiles have full buffers in memory — the
+//! paper's key memory optimisations (Section V-B). The [`memory`] module
+//! accounts for live tiles and buffered edges so the Figure 4 peak-memory
+//! comparison can be reproduced, and [`priority`] implements both the
+//! paper's column-major-style priority (Figure 5) and the level-set
+//! alternative of Figure 4(b).
+
+pub mod groups;
+pub mod kernel;
+pub mod memory;
+pub mod node;
+pub mod priority;
+pub mod reduce;
+pub mod reference;
+pub mod scheduler;
+pub mod stats;
+pub mod transport;
+
+pub use groups::run_shared_grouped;
+pub use kernel::{Kernel, Value};
+pub use memory::MemoryStats;
+pub use node::{run_node, run_node_reduce, run_shared, run_shared_reduce, NodeConfig, NodeResult, Probe, SingleOwner, TileOwner};
+pub use reduce::Reduction;
+pub use reference::{run_reference, ReferenceResult};
+pub use priority::TilePriority;
+pub use scheduler::Scheduler;
+pub use stats::RunStats;
+pub use transport::{EdgeMsg, NullTransport, Transport};

@@ -1,0 +1,176 @@
+//! Memory accounting for the Figure 4 peak-memory analysis.
+//!
+//! The runtime tracks, with atomic counters, how many edge payload *cells*
+//! are buffered awaiting consumption, how many tiles are live (fully
+//! allocated, i.e. executing), and the corresponding peaks. Different
+//! execution priorities change peak edge memory by almost a factor of `d`
+//! (Section V-B); the `figures` bench harness reads these counters to
+//! regenerate the comparison.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Shared memory counters (cheap enough to update on every edge event).
+#[derive(Debug, Default)]
+pub struct MemoryStats {
+    edges_buffered: AtomicI64,
+    edges_buffered_peak: AtomicI64,
+    edge_cells_buffered: AtomicI64,
+    edge_cells_buffered_peak: AtomicI64,
+    live_tiles: AtomicI64,
+    live_tiles_peak: AtomicI64,
+    live_tile_cells: AtomicI64,
+    live_tile_cells_peak: AtomicI64,
+    edges_total: AtomicU64,
+    edge_cells_total: AtomicU64,
+}
+
+fn bump_peak(cur: &AtomicI64, peak: &AtomicI64, delta: i64) {
+    let now = cur.fetch_add(delta, Ordering::Relaxed) + delta;
+    if delta > 0 {
+        peak.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+impl MemoryStats {
+    /// New zeroed counters.
+    pub fn new() -> MemoryStats {
+        MemoryStats::default()
+    }
+
+    /// An edge with `cells` payload cells was buffered in the scheduler.
+    pub fn edge_buffered(&self, cells: usize) {
+        bump_peak(&self.edges_buffered, &self.edges_buffered_peak, 1);
+        bump_peak(
+            &self.edge_cells_buffered,
+            &self.edge_cells_buffered_peak,
+            cells as i64,
+        );
+        self.edges_total.fetch_add(1, Ordering::Relaxed);
+        self.edge_cells_total.fetch_add(cells as u64, Ordering::Relaxed);
+    }
+
+    /// A buffered edge was consumed (unpacked into an executing tile).
+    pub fn edge_consumed(&self, cells: usize) {
+        bump_peak(&self.edges_buffered, &self.edges_buffered_peak, -1);
+        bump_peak(
+            &self.edge_cells_buffered,
+            &self.edge_cells_buffered_peak,
+            -(cells as i64),
+        );
+    }
+
+    /// A tile buffer of `cells` cells was allocated for execution.
+    pub fn tile_allocated(&self, cells: usize) {
+        bump_peak(&self.live_tiles, &self.live_tiles_peak, 1);
+        bump_peak(
+            &self.live_tile_cells,
+            &self.live_tile_cells_peak,
+            cells as i64,
+        );
+    }
+
+    /// An executing tile's buffer was released.
+    pub fn tile_released(&self, cells: usize) {
+        bump_peak(&self.live_tiles, &self.live_tiles_peak, -1);
+        bump_peak(
+            &self.live_tile_cells,
+            &self.live_tile_cells_peak,
+            -(cells as i64),
+        );
+    }
+
+    /// Peak number of simultaneously buffered edges.
+    pub fn peak_edges(&self) -> i64 {
+        self.edges_buffered_peak.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of simultaneously buffered edge cells.
+    pub fn peak_edge_cells(&self) -> i64 {
+        self.edge_cells_buffered_peak.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of simultaneously live (executing) tiles.
+    pub fn peak_live_tiles(&self) -> i64 {
+        self.live_tiles_peak.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of live tile buffer cells.
+    pub fn peak_live_tile_cells(&self) -> i64 {
+        self.live_tile_cells_peak.load(Ordering::Relaxed)
+    }
+
+    /// Total edges ever buffered.
+    pub fn total_edges(&self) -> u64 {
+        self.edges_total.load(Ordering::Relaxed)
+    }
+
+    /// Total edge cells ever buffered.
+    pub fn total_edge_cells(&self) -> u64 {
+        self.edge_cells_total.load(Ordering::Relaxed)
+    }
+
+    /// Currently buffered edges (should be 0 after a complete run).
+    pub fn current_edges(&self) -> i64 {
+        self.edges_buffered.load(Ordering::Relaxed)
+    }
+
+    /// Currently live tiles (should be 0 after a complete run).
+    pub fn current_live_tiles(&self) -> i64 {
+        self.live_tiles.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_track_high_water_mark() {
+        let m = MemoryStats::new();
+        m.edge_buffered(10);
+        m.edge_buffered(20);
+        assert_eq!(m.peak_edges(), 2);
+        assert_eq!(m.peak_edge_cells(), 30);
+        m.edge_consumed(10);
+        m.edge_buffered(5);
+        assert_eq!(m.peak_edges(), 2);
+        assert_eq!(m.peak_edge_cells(), 30);
+        m.edge_buffered(40);
+        assert_eq!(m.peak_edge_cells(), 65);
+        assert_eq!(m.total_edges(), 4);
+        assert_eq!(m.total_edge_cells(), 75);
+    }
+
+    #[test]
+    fn tiles_balance_to_zero() {
+        let m = MemoryStats::new();
+        m.tile_allocated(100);
+        m.tile_allocated(100);
+        m.tile_released(100);
+        m.tile_allocated(100);
+        m.tile_released(100);
+        m.tile_released(100);
+        assert_eq!(m.current_live_tiles(), 0);
+        assert_eq!(m.peak_live_tiles(), 2);
+        assert_eq!(m.peak_live_tile_cells(), 200);
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent_in_total() {
+        let m = std::sync::Arc::new(MemoryStats::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.edge_buffered(3);
+                        m.edge_consumed(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.current_edges(), 0);
+        assert_eq!(m.total_edges(), 4000);
+        assert!(m.peak_edges() >= 1 && m.peak_edges() <= 4);
+    }
+}

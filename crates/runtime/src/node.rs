@@ -1,0 +1,595 @@
+//! The node runtime: a worker pool executing tiles from the shared
+//! scheduler — the Rust rendering of the generated program's OpenMP
+//! `parallel` section (Section V-A of the paper).
+//!
+//! Each worker repeatedly: polls the transport for incoming edges, pops the
+//! next available tile, unpacks its buffered edges into a freshly allocated
+//! ghost-padded buffer, runs the center-loop kernel over the tile, packs
+//! each valid outgoing edge and either updates a neighbouring tile on this
+//! node or hands the edge to the transport. Only executing tiles hold full
+//! buffers; waiting tiles exist only as packed edges.
+
+use crate::kernel::{Kernel, Value};
+use crate::memory::MemoryStats;
+use crate::priority::TilePriority;
+use crate::reduce::Reduction;
+use crate::scheduler::Scheduler;
+use crate::stats::RunStats;
+use crate::transport::{EdgeMsg, Transport};
+use dpgen_tiling::{Coord, Tiling, MAX_DIMS};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Assigns every tile to the rank that executes it (the load balancer's
+/// output; Section IV-J).
+pub trait TileOwner: Send + Sync {
+    /// The rank that owns (executes) `tile`.
+    fn owner_of(&self, tile: &Coord) -> usize;
+}
+
+/// All tiles belong to rank 0 (single-node runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleOwner;
+
+impl TileOwner for SingleOwner {
+    fn owner_of(&self, _tile: &Coord) -> usize {
+        0
+    }
+}
+
+/// Per-node execution configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Worker threads on this node (the OpenMP thread count).
+    pub threads: usize,
+    /// Ready-queue ordering policy.
+    pub priority: TilePriority,
+    /// This node's rank.
+    pub rank: usize,
+}
+
+impl NodeConfig {
+    /// Single-rank configuration with the given thread count and the
+    /// paper's default (column-major) priority.
+    pub fn new(threads: usize, dims: usize) -> NodeConfig {
+        NodeConfig {
+            threads,
+            priority: TilePriority::column_major(dims),
+            rank: 0,
+        }
+    }
+}
+
+/// Global coordinates whose final values should be captured.
+///
+/// The classic example is `V(0)` for the bandit problems — the optimal
+/// expected reward before any pulls.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    coords: Vec<Coord>,
+}
+
+impl Probe {
+    /// Probe a single location.
+    pub fn at(x: &[i64]) -> Probe {
+        Probe {
+            coords: vec![Coord::from_slice(x)],
+        }
+    }
+
+    /// Probe several locations.
+    pub fn many(xs: &[&[i64]]) -> Probe {
+        Probe {
+            coords: xs.iter().map(|x| Coord::from_slice(x)).collect(),
+        }
+    }
+
+    /// The probed coordinates.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when nothing is probed.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Group probe coordinates by owning tile, dropping coordinates outside
+/// the iteration space (their probes stay `None`). Shared by the flat and
+/// grouped runners.
+pub(crate) fn probe_map(
+    tiling: &Tiling,
+    params: &[i64],
+    probe: &Probe,
+) -> HashMap<Coord, Vec<(usize, Coord)>> {
+    let d = tiling.dims();
+    let widths = tiling.widths();
+    let original = tiling.original();
+    let mut opoint = vec![0i128; original.space().dim()];
+    for (col, &p) in original.space().param_indices().iter().zip(params) {
+        opoint[*col] = p as i128;
+    }
+    let mut map: HashMap<Coord, Vec<(usize, Coord)>> = HashMap::new();
+    for (idx, x) in probe.coords().iter().enumerate() {
+        for k in 0..d {
+            opoint[k] = x[k] as i128;
+        }
+        if !original.contains(&opoint).unwrap_or(false) {
+            continue; // outside the iteration space: probe stays None
+        }
+        let mut t = Coord::zeros(d);
+        for k in 0..d {
+            t.set(k, x[k].div_euclid(widths[k]));
+        }
+        map.entry(t).or_default().push((idx, *x));
+    }
+    map
+}
+
+/// The outcome of one node's run.
+#[derive(Debug, Clone)]
+pub struct NodeResult<T> {
+    /// Captured probe values, aligned with the probe's coordinates. `None`
+    /// when the location is outside this node's tiles (another rank has it)
+    /// or outside the iteration space.
+    pub probes: Vec<Option<T>>,
+    /// This node's partial reduction value (see
+    /// [`crate::reduce::Reduction`]); `None` when no reduction was given.
+    pub reduction: Option<T>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Execute this rank's share of the problem.
+///
+/// Blocks until every tile owned by `config.rank` (per `owner`) has been
+/// executed. Edges for foreign tiles go through `transport`; edges arriving
+/// on `transport` are fed into the local scheduler.
+pub fn run_node<T, K, O, Tr>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    owner: &O,
+    transport: &Tr,
+    probe: &Probe,
+    config: &NodeConfig,
+) -> NodeResult<T>
+where
+    T: Value,
+    K: Kernel<T>,
+    O: TileOwner,
+    Tr: Transport<T>,
+{
+    run_node_reduce(tiling, params, kernel, owner, transport, probe, config, None)
+}
+
+/// [`run_node`] with an optional whole-space [`Reduction`] folded over
+/// every computed cell (e.g. the global maximum for Smith-Waterman local
+/// alignment).
+#[allow(clippy::too_many_arguments)]
+pub fn run_node_reduce<T, K, O, Tr>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    owner: &O,
+    transport: &Tr,
+    probe: &Probe,
+    config: &NodeConfig,
+    reduce: Option<&Reduction<T>>,
+) -> NodeResult<T>
+where
+    T: Value,
+    K: Kernel<T>,
+    O: TileOwner,
+    Tr: Transport<T>,
+{
+    let t_start = Instant::now();
+    let d = tiling.dims();
+    let layout = tiling.layout();
+    let widths = tiling.widths();
+
+    // --- Initial tile generation (Section IV-K): find owned tiles whose
+    // dependencies are all unsatisfiable. Executed serially, as in the
+    // paper; its wall time is reported separately.
+    let mut point = tiling.make_point(params);
+    let mut owned_list: Vec<Coord> = Vec::new();
+    tiling.for_each_tile(&mut point, |t| {
+        if owner.owner_of(&t) == config.rank {
+            owned_list.push(t);
+        }
+    });
+    let mut initials: Vec<Coord> = Vec::new();
+    for t in &owned_list {
+        if tiling.dep_total(t, &mut point) == 0 {
+            initials.push(*t);
+        }
+    }
+    let owned = owned_list.len() as u64;
+    drop(owned_list);
+    let init_time = t_start.elapsed();
+
+    let mem = Arc::new(MemoryStats::new());
+    let mut scheduler = Scheduler::new(
+        config.priority.clone(),
+        tiling.templates().directions().to_vec(),
+        mem.clone(),
+    );
+    for t in initials {
+        scheduler.mark_initial(t);
+    }
+    let sched = Mutex::new(scheduler);
+    let cv = Condvar::new();
+    let executed = AtomicU64::new(0);
+    let cells = AtomicU64::new(0);
+    let edges_local = AtomicU64::new(0);
+    let edges_remote = AtomicU64::new(0);
+    let edge_cells = AtomicU64::new(0);
+    let idle_ns = AtomicU64::new(0);
+
+    // Group probe coordinates by owning tile for cheap per-tile lookup.
+    let probe_by_tile = probe_map(tiling, params, probe);
+    let probe_results: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; probe.len()]);
+
+    let threads = config.threads.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut point = tiling.make_point(params);
+                loop {
+                    // Step 6 of the paper's loop: poll for incoming edges.
+                    while let Some(msg) = transport.try_recv() {
+                        let total = tiling.dep_total(&msg.tile, &mut point);
+                        let ready =
+                            sched.lock().deliver_edge(msg.tile, msg.delta, msg.payload, total);
+                        if ready {
+                            cv.notify_one();
+                        }
+                    }
+                    let popped = sched.lock().pop();
+                    let Some((tile, edges)) = popped else {
+                        if executed.load(Ordering::Acquire) >= owned {
+                            break;
+                        }
+                        // Nothing ready: wait briefly (re-polling the
+                        // transport on timeout).
+                        let t0 = Instant::now();
+                        {
+                            let mut guard = sched.lock();
+                            if guard.ready_len() == 0
+                                && executed.load(Ordering::Acquire) < owned
+                            {
+                                cv.wait_for(&mut guard, Duration::from_micros(200));
+                            }
+                        }
+                        idle_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        continue;
+                    };
+
+                    // --- Steps 2-3: unpack and execute. ---
+                    mem.tile_allocated(layout.size());
+                    let mut values: Vec<T> = vec![T::default(); layout.size()];
+                    for (delta, payload) in &edges {
+                        let edge = tiling
+                            .edge_for(delta)
+                            .expect("received edge with unknown offset");
+                        let src = tile.add(delta);
+                        tiling.set_tile(&src, &mut point);
+                        let mut k = 0usize;
+                        edge.for_each_cell(&mut point, |j| {
+                            values[layout.loc_ghost(j, delta)] = payload[k];
+                            k += 1;
+                        })
+                        .expect("edge unpack scan failed");
+                        debug_assert_eq!(k, payload.len(), "edge payload length mismatch");
+                    }
+                    let mut cell_count = 0u64;
+                    if let Some(r) = reduce {
+                        let mut acc = r.identity();
+                        tiling
+                            .scan_tile(&tile, &mut point, |cell| {
+                                kernel.compute(cell, &mut values);
+                                acc = r.combine(acc, values[cell.loc]);
+                                cell_count += 1;
+                            })
+                            .expect("tile scan failed");
+                        r.merge(acc);
+                    } else {
+                        tiling
+                            .scan_tile(&tile, &mut point, |cell| {
+                                kernel.compute(cell, &mut values);
+                                cell_count += 1;
+                            })
+                            .expect("tile scan failed");
+                    }
+                    cells.fetch_add(cell_count, Ordering::Relaxed);
+
+                    if let Some(list) = probe_by_tile.get(&tile) {
+                        let mut res = probe_results.lock();
+                        for (idx, x) in list {
+                            let mut local = [0i64; MAX_DIMS];
+                            for k in 0..d {
+                                local[k] = x[k] - widths[k] * tile[k];
+                            }
+                            res[*idx] = Some(values[layout.loc(&local[..d])]);
+                        }
+                    }
+
+                    // --- Step 4: pack each valid outgoing edge. ---
+                    for (dep_idx, dep) in tiling.deps().iter().enumerate() {
+                        let consumer = tile.sub(&dep.delta);
+                        if !tiling.tile_in_space(&consumer, &mut point) {
+                            continue;
+                        }
+                        let edge = &tiling.edges()[dep_idx];
+                        tiling.set_tile(&tile, &mut point);
+                        let mut payload = Vec::new();
+                        edge.for_each_cell(&mut point, |j| {
+                            payload.push(values[layout.loc(j)]);
+                        })
+                        .expect("edge pack scan failed");
+                        edge_cells.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        let dest = owner.owner_of(&consumer);
+                        if dest == config.rank {
+                            let total = tiling.dep_total(&consumer, &mut point);
+                            let ready =
+                                sched.lock().deliver_edge(consumer, dep.delta, payload, total);
+                            edges_local.fetch_add(1, Ordering::Relaxed);
+                            if ready {
+                                cv.notify_one();
+                            }
+                        } else {
+                            edges_remote.fetch_add(1, Ordering::Relaxed);
+                            transport.send(
+                                dest,
+                                EdgeMsg {
+                                    tile: consumer,
+                                    delta: dep.delta,
+                                    payload,
+                                },
+                            );
+                        }
+                    }
+                    mem.tile_released(layout.size());
+
+                    let done = executed.fetch_add(1, Ordering::AcqRel) + 1;
+                    if done >= owned {
+                        cv.notify_all();
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = RunStats {
+        tiles_executed: executed.load(Ordering::Acquire),
+        cells_computed: cells.load(Ordering::Relaxed),
+        edges_local: edges_local.load(Ordering::Relaxed),
+        edges_remote: edges_remote.load(Ordering::Relaxed),
+        edge_cells_packed: edge_cells.load(Ordering::Relaxed),
+        init_time,
+        total_time: t_start.elapsed(),
+        idle_time: Duration::from_nanos(idle_ns.load(Ordering::Relaxed)),
+        threads,
+        peak_edges: mem.peak_edges(),
+        peak_edge_cells: mem.peak_edge_cells(),
+        peak_live_tiles: mem.peak_live_tiles(),
+        peak_live_tile_cells: mem.peak_live_tile_cells(),
+    };
+    NodeResult {
+        probes: probe_results.into_inner(),
+        reduction: reduce.map(|r| r.finish()),
+        stats,
+    }
+}
+
+/// [`run_shared`] with a whole-space [`Reduction`].
+pub fn run_shared_reduce<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    threads: usize,
+    priority: TilePriority,
+    reduce: &Reduction<T>,
+) -> NodeResult<T>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let config = NodeConfig {
+        threads,
+        priority,
+        rank: 0,
+    };
+    run_node_reduce(
+        tiling,
+        params,
+        kernel,
+        &SingleOwner,
+        &crate::transport::NullTransport,
+        probe,
+        &config,
+        Some(reduce),
+    )
+}
+
+/// Run the whole problem on this process with `threads` workers — the
+/// pure-OpenMP configuration of the paper's evaluation (Figure 6).
+pub fn run_shared<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    threads: usize,
+    priority: TilePriority,
+) -> NodeResult<T>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let config = NodeConfig {
+        threads,
+        priority,
+        rank: 0,
+    };
+    run_node(
+        tiling,
+        params,
+        kernel,
+        &SingleOwner,
+        &crate::transport::NullTransport,
+        probe,
+        &config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+    use dpgen_tiling::tiling::CellRef;
+
+    /// Triangle "counting paths" problem: f(x) = f(x+e1) + f(x+e2), base
+    /// case f = 1 on the hypotenuse-adjacent invalid reads.
+    fn triangle(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    fn path_kernel(cell: CellRef<'_>, values: &mut [u64]) {
+        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
+        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        values[cell.loc] = a + b;
+    }
+
+    /// Brute-force reference: iterate anti-diagonals from the hypotenuse
+    /// inward so dependencies are computed first.
+    fn brute(n: i64) -> std::collections::HashMap<(i64, i64), u64> {
+        let mut m = std::collections::HashMap::new();
+        for sum in (0..=n).rev() {
+            for x in 0..=sum {
+                let y = sum - x;
+                let a = if x + 1 + y <= n { m[&(x + 1, y)] } else { 1 };
+                let b = if x + y + 1 <= n { m[&(x, y + 1)] } else { 1 };
+                m.insert((x, y), a + b);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn single_thread_matches_brute_force() {
+        for (n, w) in [(6i64, 3i64), (9, 4), (5, 1), (7, 10)] {
+            let tiling = triangle(w);
+            let expect = brute(n);
+            let probe = Probe::many(&[&[0, 0], &[1, 2], &[n, 0]]);
+            let res: NodeResult<u64> = run_shared(
+                &tiling,
+                &[n],
+                &path_kernel,
+                &probe,
+                1,
+                TilePriority::column_major(2),
+            );
+            assert_eq!(res.probes[0], Some(expect[&(0, 0)]), "N={n} w={w}");
+            assert_eq!(res.probes[1], Some(expect[&(1, 2)]));
+            assert_eq!(res.probes[2], Some(expect[&(n, 0)]));
+            assert_eq!(res.stats.cells_computed, ((n + 1) * (n + 2) / 2) as u64);
+            assert_eq!(res.stats.peak_live_tiles, 1);
+        }
+    }
+
+    #[test]
+    fn multi_thread_matches_single_thread() {
+        let tiling = triangle(2);
+        let n = 20i64;
+        let expect = brute(n);
+        for threads in [2usize, 4, 8] {
+            for priority in [
+                TilePriority::column_major(2),
+                TilePriority::LevelSet,
+                TilePriority::Fifo,
+            ] {
+                let res: NodeResult<u64> = run_shared(
+                    &tiling,
+                    &[n],
+                    &path_kernel,
+                    &Probe::at(&[0, 0]),
+                    threads,
+                    priority,
+                );
+                assert_eq!(res.probes[0], Some(expect[&(0, 0)]), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let tiling = triangle(3);
+        let n = 12i64;
+        let res: NodeResult<u64> = run_shared(
+            &tiling,
+            &[n],
+            &path_kernel,
+            &Probe::at(&[0, 0]),
+            2,
+            TilePriority::column_major(2),
+        );
+        assert!(res.stats.tiles_executed > 0);
+        assert_eq!(res.stats.cells_computed, ((n + 1) * (n + 2) / 2) as u64);
+        assert!(res.stats.edges_local > 0);
+        assert_eq!(res.stats.edges_remote, 0);
+        assert!(res.stats.total_time >= res.stats.init_time);
+        assert_eq!(res.stats.threads, 2);
+        // All buffered edges were consumed.
+        assert!(res.stats.peak_edges > 0);
+    }
+
+    #[test]
+    fn probe_outside_space_stays_none() {
+        let tiling = triangle(3);
+        let res: NodeResult<u64> = run_shared(
+            &tiling,
+            &[5],
+            &path_kernel,
+            &Probe::at(&[100, 100]),
+            1,
+            TilePriority::Fifo,
+        );
+        assert_eq!(res.probes[0], None);
+    }
+
+    #[test]
+    fn empty_probe_works() {
+        let tiling = triangle(3);
+        let res: NodeResult<u64> = run_shared(
+            &tiling,
+            &[5],
+            &path_kernel,
+            &Probe::default(),
+            1,
+            TilePriority::Fifo,
+        );
+        assert!(res.probes.is_empty());
+        assert!(res.stats.tiles_executed > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Whole-space reductions.
+//!
+//! Some dynamic programs do not read their answer at a single location:
+//! Smith–Waterman local alignment, for example, needs the *maximum over
+//! every cell*. The tiled runtime discards tile interiors after execution,
+//! so the reduction must fold values as tiles complete. [`Reduction`]
+//! captures an associative, commutative combine; the node runtime folds
+//! each tile's cells into a worker-local accumulator during the center-loop
+//! scan and merges accumulators at the end.
+
+use crate::kernel::Value;
+use parking_lot::Mutex;
+
+/// An associative + commutative fold over every computed cell value.
+pub struct Reduction<T> {
+    identity: T,
+    combine: Box<dyn Fn(T, T) -> T + Send + Sync>,
+    acc: Mutex<T>,
+}
+
+impl<T: Value> Reduction<T> {
+    /// New reduction from an identity element and a combine function.
+    pub fn new(identity: T, combine: impl Fn(T, T) -> T + Send + Sync + 'static) -> Reduction<T> {
+        Reduction {
+            identity,
+            combine: Box::new(combine),
+            acc: Mutex::new(identity),
+        }
+    }
+
+    /// The identity element (a fresh worker-local accumulator).
+    pub fn identity(&self) -> T {
+        self.identity
+    }
+
+    /// Combine two partial results.
+    pub fn combine(&self, a: T, b: T) -> T {
+        (self.combine)(a, b)
+    }
+
+    /// Merge a worker-local accumulator into the global one.
+    pub fn merge(&self, partial: T) {
+        let mut acc = self.acc.lock();
+        *acc = (self.combine)(*acc, partial);
+    }
+
+    /// The final folded value (call after the run completes).
+    pub fn finish(&self) -> T {
+        *self.acc.lock()
+    }
+}
+
+/// Convenience constructors for the common cases.
+impl Reduction<f64> {
+    /// Maximum over all cells (identity −∞).
+    pub fn max_f64() -> Reduction<f64> {
+        Reduction::new(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl Reduction<i64> {
+    /// Maximum over all cells (identity `i64::MIN`).
+    pub fn max_i64() -> Reduction<i64> {
+        Reduction::new(i64::MIN, i64::max)
+    }
+
+    /// Sum over all cells.
+    pub fn sum_i64() -> Reduction<i64> {
+        Reduction::new(0, |a, b| a.wrapping_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_finish() {
+        let r = Reduction::max_i64();
+        r.merge(3);
+        r.merge(-5);
+        r.merge(7);
+        assert_eq!(r.finish(), 7);
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let r = Reduction::sum_i64();
+        for k in 1..=10 {
+            r.merge(k);
+        }
+        assert_eq!(r.finish(), 55);
+    }
+
+    #[test]
+    fn concurrent_merges() {
+        let r = std::sync::Arc::new(Reduction::max_f64());
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        r.merge((w * 1000 + k) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.finish(), 3999.0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let r = Reduction::max_i64();
+        assert_eq!(r.finish(), i64::MIN);
+        let acc = r.combine(r.identity(), 42);
+        assert_eq!(acc, 42);
+    }
+}

@@ -1,0 +1,221 @@
+//! The node-local tile scheduler (Section V-B of the paper).
+//!
+//! Two data structures: a *pending table* holding, for every tile with at
+//! least one satisfied dependency, the edges buffered so far; and a *ready
+//! priority queue* of tiles whose dependencies are all satisfied. Only
+//! pending tiles are stored — the paper's observation is that while the
+//! iteration space has `Θ(n^d)` locations, at most `O(n^{d-1})` tiles can be
+//! pending at once, an order-of-magnitude memory saving.
+
+use crate::memory::MemoryStats;
+use crate::priority::TilePriority;
+use dpgen_tiling::{Coord, Direction};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+struct Pending<T> {
+    edges: Vec<(Coord, Vec<T>)>,
+    total: usize,
+}
+
+/// A ready tile with its priority key (min-heap via `Reverse`).
+#[derive(PartialEq, Eq)]
+struct ReadyEntry {
+    key: Vec<i64>,
+    tile: Coord,
+}
+
+impl Ord for ReadyEntry {
+    fn cmp(&self, other: &ReadyEntry) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl PartialOrd for ReadyEntry {
+    fn partial_cmp(&self, other: &ReadyEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Node-local scheduler state. Wrap in a mutex to share between workers.
+pub struct Scheduler<T> {
+    priority: TilePriority,
+    directions: Vec<Direction>,
+    pending: HashMap<Coord, Pending<T>>,
+    ready: BinaryHeap<Reverse<ReadyEntry>>,
+    ready_edges: HashMap<Coord, Vec<(Coord, Vec<T>)>>,
+    seq: u64,
+    stats: Arc<MemoryStats>,
+}
+
+impl<T> Scheduler<T> {
+    /// New empty scheduler.
+    pub fn new(
+        priority: TilePriority,
+        directions: Vec<Direction>,
+        stats: Arc<MemoryStats>,
+    ) -> Scheduler<T> {
+        Scheduler {
+            priority,
+            directions,
+            pending: HashMap::new(),
+            ready: BinaryHeap::new(),
+            ready_edges: HashMap::new(),
+            seq: 0,
+            stats,
+        }
+    }
+
+    /// Enqueue a tile that has no dependencies (an *initial* tile,
+    /// Section IV-K).
+    pub fn mark_initial(&mut self, tile: Coord) {
+        self.push_ready(tile, Vec::new());
+    }
+
+    /// Record an incoming edge for `tile`. `total` is the tile's full
+    /// dependency count (must be identical across calls for one tile).
+    /// Returns `true` when this edge made the tile ready.
+    pub fn deliver_edge(
+        &mut self,
+        tile: Coord,
+        delta: Coord,
+        payload: Vec<T>,
+        total: usize,
+    ) -> bool {
+        debug_assert!(total > 0, "tile with zero deps must use mark_initial");
+        self.stats.edge_buffered(payload.len());
+        let entry = self.pending.entry(tile).or_insert_with(|| Pending {
+            edges: Vec::with_capacity(total),
+            total,
+        });
+        debug_assert_eq!(entry.total, total, "inconsistent dependency totals");
+        debug_assert!(
+            !entry.edges.iter().any(|(d, _)| *d == delta),
+            "duplicate edge {delta} for tile {tile}"
+        );
+        entry.edges.push((delta, payload));
+        if entry.edges.len() == entry.total {
+            let pending = self.pending.remove(&tile).unwrap();
+            self.push_ready(tile, pending.edges);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the highest-priority ready tile with its buffered edges.
+    pub fn pop(&mut self) -> Option<(Coord, Vec<(Coord, Vec<T>)>)> {
+        let Reverse(entry) = self.ready.pop()?;
+        let edges = self
+            .ready_edges
+            .remove(&entry.tile)
+            .expect("ready tile has no edge record");
+        for (_, payload) in &edges {
+            self.stats.edge_consumed(payload.len());
+        }
+        Some((entry.tile, edges))
+    }
+
+    /// Number of ready tiles.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of pending (partially satisfied) tiles.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Shared memory counters.
+    pub fn stats(&self) -> &Arc<MemoryStats> {
+        &self.stats
+    }
+
+    fn push_ready(&mut self, tile: Coord, edges: Vec<(Coord, Vec<T>)>) {
+        let key = self.priority.key(&tile, &self.directions, self.seq);
+        self.seq += 1;
+        self.ready_edges.insert(tile, edges);
+        self.ready.push(Reverse(ReadyEntry { key, tile }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(priority: TilePriority) -> Scheduler<f64> {
+        Scheduler::new(
+            priority,
+            vec![Direction::Ascending, Direction::Ascending],
+            Arc::new(MemoryStats::new()),
+        )
+    }
+
+    fn c(v: &[i64]) -> Coord {
+        Coord::from_slice(v)
+    }
+
+    #[test]
+    fn initial_tiles_pop_in_priority_order() {
+        let mut s = sched(TilePriority::column_major(2));
+        s.mark_initial(c(&[2, 0]));
+        s.mark_initial(c(&[0, 1]));
+        s.mark_initial(c(&[0, 0]));
+        assert_eq!(s.ready_len(), 3);
+        assert_eq!(s.pop().unwrap().0, c(&[0, 0]));
+        assert_eq!(s.pop().unwrap().0, c(&[0, 1]));
+        assert_eq!(s.pop().unwrap().0, c(&[2, 0]));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn tile_becomes_ready_when_all_edges_arrive() {
+        let mut s = sched(TilePriority::Fifo);
+        let t = c(&[1, 1]);
+        assert!(!s.deliver_edge(t, c(&[-1, 0]), vec![1.0, 2.0], 2));
+        assert_eq!(s.pending_len(), 1);
+        assert_eq!(s.ready_len(), 0);
+        assert!(s.deliver_edge(t, c(&[0, -1]), vec![3.0], 2));
+        assert_eq!(s.pending_len(), 0);
+        let (tile, edges) = s.pop().unwrap();
+        assert_eq!(tile, t);
+        assert_eq!(edges.len(), 2);
+        let total_cells: usize = edges.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total_cells, 3);
+    }
+
+    #[test]
+    fn memory_stats_follow_edge_lifecycle() {
+        let stats = Arc::new(MemoryStats::new());
+        let mut s: Scheduler<f64> = Scheduler::new(
+            TilePriority::Fifo,
+            vec![Direction::Ascending],
+            stats.clone(),
+        );
+        s.deliver_edge(c(&[1]), c(&[-1]), vec![0.0; 5], 1);
+        assert_eq!(stats.peak_edge_cells(), 5);
+        assert_eq!(stats.current_edges(), 1);
+        s.pop().unwrap();
+        assert_eq!(stats.current_edges(), 0);
+        assert_eq!(stats.peak_edge_cells(), 5);
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut s = sched(TilePriority::Fifo);
+        s.mark_initial(c(&[5, 5]));
+        s.mark_initial(c(&[0, 0]));
+        assert_eq!(s.pop().unwrap().0, c(&[5, 5]));
+        assert_eq!(s.pop().unwrap().0, c(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    #[cfg(debug_assertions)]
+    fn duplicate_edge_is_detected() {
+        let mut s = sched(TilePriority::Fifo);
+        s.deliver_edge(c(&[1, 0]), c(&[-1, 0]), vec![], 2);
+        s.deliver_edge(c(&[1, 0]), c(&[-1, 0]), vec![], 2);
+    }
+}

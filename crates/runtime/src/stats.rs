@@ -1,0 +1,76 @@
+//! Per-run statistics reported by the node runtime.
+
+use std::time::Duration;
+
+/// Counters and timings from one node's run, used by the evaluation harness
+/// (scaling efficiency, initial-tile-generation fraction, communication
+/// volume, idle time).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Tiles executed by this node.
+    pub tiles_executed: u64,
+    /// Cells computed (center-loop executions).
+    pub cells_computed: u64,
+    /// Edges delivered to tiles on the same node.
+    pub edges_local: u64,
+    /// Edges handed to the transport for other nodes.
+    pub edges_remote: u64,
+    /// Total edge cells packed (local + remote).
+    pub edge_cells_packed: u64,
+    /// Wall time spent discovering initial tiles (Section IV-K measures
+    /// this as < 0.5% of total run time).
+    pub init_time: Duration,
+    /// Total wall time of the run (including initialisation).
+    pub total_time: Duration,
+    /// Summed worker wait time (idle in the scheduler loop).
+    pub idle_time: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Peak number of simultaneously buffered edges.
+    pub peak_edges: i64,
+    /// Peak buffered edge cells.
+    pub peak_edge_cells: i64,
+    /// Peak simultaneously live (executing) tile buffers.
+    pub peak_live_tiles: i64,
+    /// Peak live tile buffer cells.
+    pub peak_live_tile_cells: i64,
+}
+
+impl RunStats {
+    /// Fraction of wall time spent in initial tile generation.
+    pub fn init_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.init_time.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+
+    /// Mean idle fraction per worker.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_time.is_zero() || self.threads == 0 {
+            return 0.0;
+        }
+        self.idle_time.as_secs_f64() / (self.total_time.as_secs_f64() * self.threads as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let s = RunStats {
+            init_time: Duration::from_millis(5),
+            total_time: Duration::from_millis(1000),
+            idle_time: Duration::from_millis(500),
+            threads: 4,
+            ..Default::default()
+        };
+        assert!((s.init_fraction() - 0.005).abs() < 1e-9);
+        assert!((s.idle_fraction() - 0.125).abs() < 1e-9);
+        let z = RunStats::default();
+        assert_eq!(z.init_fraction(), 0.0);
+        assert_eq!(z.idle_fraction(), 0.0);
+    }
+}

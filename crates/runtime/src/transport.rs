@@ -1,0 +1,76 @@
+//! Transport abstraction between nodes.
+//!
+//! The node runtime is agnostic of how edges travel between nodes: it packs
+//! an edge, asks the [`crate::node::TileOwner`] which rank consumes it, and
+//! hands foreign edges to a [`Transport`]. The `dpgen-mpisim` crate provides
+//! the simulated-MPI implementation (bounded send/receive buffers, polling
+//! progress); [`NullTransport`] is used for single-node runs, where a remote
+//! edge is a logic error.
+
+use dpgen_tiling::Coord;
+
+/// One edge in flight: the consuming tile, the dependency offset it
+/// satisfies, and the packed cell values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeMsg<T> {
+    /// The tile this edge is for (on the receiving rank).
+    pub tile: Coord,
+    /// The dependency offset `δ` (the producing tile is `tile + δ`).
+    pub delta: Coord,
+    /// Packed edge cells in the shared pack/unpack order.
+    pub payload: Vec<T>,
+}
+
+/// Rank-to-rank edge transport.
+pub trait Transport<T>: Send + Sync {
+    /// Send an edge to `dest`. May block when send buffers are exhausted,
+    /// but must keep draining incoming traffic while blocked (the MPI
+    /// progress rule) so that two mutually sending ranks cannot deadlock.
+    fn send(&self, dest: usize, msg: EdgeMsg<T>);
+
+    /// Poll for one incoming edge.
+    fn try_recv(&self) -> Option<EdgeMsg<T>>;
+}
+
+/// Transport for single-node runs: sending is a logic error, receiving
+/// yields nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTransport;
+
+impl<T> Transport<T> for NullTransport {
+    fn send(&self, dest: usize, msg: EdgeMsg<T>) {
+        panic!(
+            "NullTransport cannot send edge for tile {} to rank {dest}",
+            msg.tile
+        );
+    }
+
+    fn try_recv(&self) -> Option<EdgeMsg<T>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_transport_receives_nothing() {
+        let t = NullTransport;
+        assert_eq!(Transport::<f64>::try_recv(&t), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send")]
+    fn null_transport_send_panics() {
+        let t = NullTransport;
+        t.send(
+            1,
+            EdgeMsg {
+                tile: Coord::from_slice(&[0]),
+                delta: Coord::from_slice(&[1]),
+                payload: vec![1.0f64],
+            },
+        );
+    }
+}

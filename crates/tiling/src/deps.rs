@@ -1,0 +1,177 @@
+//! Tile dependency derivation (Section IV-F of the paper).
+//!
+//! A template vector `r` makes tile `t` read cells of tile `t + δ` for every
+//! offset vector `δ` reachable as `δ_k = floor((i_k + r_k) / w_k)` with
+//! `i_k ∈ [0, w_k)`. Per dimension that is the contiguous range
+//! `floor(r_k / w_k) ..= floor((w_k - 1 + r_k) / w_k)`; the tile offsets are
+//! the cartesian product of those ranges, minus the zero vector
+//! (intra-tile reads). The paper's example: template `⟨1, 1⟩` causes
+//! dependencies on `t + ⟨1,0⟩`, `t + ⟨1,1⟩` and `t + ⟨0,1⟩`.
+
+use crate::coord::Coord;
+use crate::template::TemplateSet;
+use dpgen_polyhedra::num::floor_div;
+
+/// One tile-level dependency: tile `t` depends on tile `t + delta`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileDep {
+    /// The tile offset `δ` (non-zero).
+    pub delta: Coord,
+    /// Ids of the templates whose reads cross this tile boundary.
+    pub templates: Vec<usize>,
+}
+
+/// Per-dimension range of tile offsets template `r` can produce with widths `w`.
+pub fn delta_range(r_k: i64, w_k: i64) -> (i64, i64) {
+    debug_assert!(w_k >= 1);
+    (
+        floor_div(r_k as i128, w_k as i128) as i64,
+        floor_div((w_k - 1 + r_k) as i128, w_k as i128) as i64,
+    )
+}
+
+/// Compute the distinct tile dependencies for a template set and tile widths.
+/// The result is sorted by `delta` for determinism; each entry lists every
+/// contributing template.
+pub fn derive_tile_deps(templates: &TemplateSet, widths: &[i64]) -> Vec<TileDep> {
+    let d = templates.dims();
+    assert_eq!(widths.len(), d);
+    let mut map: std::collections::BTreeMap<Coord, Vec<usize>> = std::collections::BTreeMap::new();
+    for (j, t) in templates.templates().iter().enumerate() {
+        let ranges: Vec<(i64, i64)> = (0..d).map(|k| delta_range(t.offset[k], widths[k])).collect();
+        // Enumerate the cartesian product of the per-dimension ranges.
+        let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+        'outer: loop {
+            if cur.iter().any(|&c| c != 0) {
+                map.entry(Coord::from_slice(&cur)).or_default().push(j);
+            }
+            // Odometer increment.
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    break 'outer;
+                }
+                k -= 1;
+                if cur[k] < ranges[k].1 {
+                    cur[k] += 1;
+                    for kk in k + 1..d {
+                        cur[kk] = ranges[kk].0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    map.into_iter()
+        .map(|(delta, mut templates)| {
+            templates.dedup();
+            TileDep { delta, templates }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+
+    fn deltas(deps: &[TileDep]) -> Vec<Vec<i64>> {
+        deps.iter().map(|d| d.delta.as_slice().to_vec()).collect()
+    }
+
+    #[test]
+    fn delta_range_cases() {
+        // 0 <= r < w: offsets {0, 1} unless r == 0.
+        assert_eq!(delta_range(0, 4), (0, 0));
+        assert_eq!(delta_range(1, 4), (0, 1));
+        assert_eq!(delta_range(3, 4), (0, 1));
+        // r == w: always next tile.
+        assert_eq!(delta_range(4, 4), (1, 1));
+        // r > w: can span two tiles.
+        assert_eq!(delta_range(5, 4), (1, 2));
+        // Negative r.
+        assert_eq!(delta_range(-1, 4), (-1, 0));
+        assert_eq!(delta_range(-4, 4), (-1, -1));
+        assert_eq!(delta_range(-5, 4), (-2, -1));
+        // Width 1: every cell is its own tile.
+        assert_eq!(delta_range(1, 1), (1, 1));
+        assert_eq!(delta_range(-1, 1), (-1, -1));
+    }
+
+    #[test]
+    fn paper_example_template_11() {
+        // Template ⟨1,1⟩ ⇒ deps on ⟨1,0⟩, ⟨1,1⟩, ⟨0,1⟩ (Section IV-F).
+        let set = TemplateSet::new(2, vec![Template::new("r", &[1, 1])]).unwrap();
+        let deps = derive_tile_deps(&set, &[4, 4]);
+        assert_eq!(
+            deltas(&deps),
+            vec![vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+        assert!(deps.iter().all(|d| d.templates == vec![0]));
+    }
+
+    #[test]
+    fn bandit_unit_templates() {
+        let set = TemplateSet::new(
+            4,
+            vec![
+                Template::new("r1", &[1, 0, 0, 0]),
+                Template::new("r2", &[0, 1, 0, 0]),
+                Template::new("r3", &[0, 0, 1, 0]),
+                Template::new("r4", &[0, 0, 0, 1]),
+            ],
+        )
+        .unwrap();
+        let deps = derive_tile_deps(&set, &[8, 8, 8, 8]);
+        // Each unit template adds exactly one axis-neighbour dependency.
+        assert_eq!(deps.len(), 4);
+        for (k, dep) in deps.iter().enumerate() {
+            let mut expect = vec![0i64; 4];
+            expect[3 - k] = 1; // BTreeMap order sorts by coordinates
+            assert_eq!(dep.delta.as_slice(), expect.as_slice());
+            assert_eq!(dep.templates.len(), 1);
+        }
+    }
+
+    #[test]
+    fn templates_sharing_a_delta_are_merged() {
+        let set = TemplateSet::new(
+            2,
+            vec![
+                Template::new("a", &[1, 0]),
+                Template::new("b", &[2, 0]),
+            ],
+        )
+        .unwrap();
+        let deps = derive_tile_deps(&set, &[4, 4]);
+        assert_eq!(deltas(&deps), vec![vec![1, 0]]);
+        assert_eq!(deps[0].templates, vec![0, 1]);
+    }
+
+    #[test]
+    fn width_one_tiles() {
+        // With w = 1, template ⟨1,1⟩ depends only on tile ⟨1,1⟩.
+        let set = TemplateSet::new(2, vec![Template::new("r", &[1, 1])]).unwrap();
+        let deps = derive_tile_deps(&set, &[1, 1]);
+        assert_eq!(deltas(&deps), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn negative_templates() {
+        // LCS-style ⟨-1,-1⟩ with w = 3 depends on ⟨-1,-1⟩, ⟨-1,0⟩, ⟨0,-1⟩.
+        let set = TemplateSet::new(2, vec![Template::new("r", &[-1, -1])]).unwrap();
+        let deps = derive_tile_deps(&set, &[3, 3]);
+        assert_eq!(
+            deltas(&deps),
+            vec![vec![-1, -1], vec![-1, 0], vec![0, -1]]
+        );
+    }
+
+    #[test]
+    fn long_template_spans_two_tiles() {
+        // r = 5, w = 4: reads from both the next tile and the one after.
+        let set = TemplateSet::new(1, vec![Template::new("far", &[5])]).unwrap();
+        let deps = derive_tile_deps(&set, &[4]);
+        assert_eq!(deltas(&deps), vec![vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Template dependence vectors.
+//!
+//! A problem's recurrence `f(x) = F(f(x + r1), ..., f(x + rm))` is described
+//! by constant vectors `r_j` (Section IV-A of the paper). Each cell reads the
+//! cells at `x + r_j`, so those must be computed *before* `x`: within a tile,
+//! dimension `k` must be scanned downward when some `r_j[k] > 0` and upward
+//! when some `r_j[k] < 0`. Mixed signs in one dimension across templates
+//! would make a simple loop ordering impossible — exactly the restriction
+//! the paper's Figure 3 works under — and are rejected at build time.
+
+use crate::coord::{Coord, MAX_DIMS};
+use std::fmt;
+
+/// One template dependence vector with its user-visible name (`r1`, `r2`, …
+/// in the paper's programming interface, Section IV-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Name exposed to center-loop code as `loc_<name>` / `is_valid_<name>`.
+    pub name: String,
+    /// The offset vector `r`.
+    pub offset: Coord,
+}
+
+impl Template {
+    /// Build a named template.
+    pub fn new(name: impl Into<String>, offset: &[i64]) -> Template {
+        Template {
+            name: name.into(),
+            offset: Coord::from_slice(offset),
+        }
+    }
+}
+
+/// Scan direction of a loop dimension, derived from the template signs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// All templates have `r[k] >= 0`: scan from the upper bound down
+    /// (dependencies at larger coordinates are computed first). This is the
+    /// Figure 3 case.
+    Descending,
+    /// All templates have `r[k] <= 0`: scan upward.
+    Ascending,
+}
+
+/// A validated set of templates for a `d`-dimensional problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSet {
+    templates: Vec<Template>,
+    dims: usize,
+    directions: Vec<Direction>,
+}
+
+/// Errors from template validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A template's dimension does not match the problem's.
+    DimMismatch { name: String, expected: usize, found: usize },
+    /// Two templates share a name.
+    DuplicateName(String),
+    /// One dimension has both positive and negative template components.
+    MixedSigns { dim: usize },
+    /// The zero vector is not a valid dependence (a cell cannot depend on
+    /// itself).
+    ZeroTemplate(String),
+    /// Too many dimensions for [`Coord`].
+    TooManyDims(usize),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::DimMismatch { name, expected, found } => write!(
+                f,
+                "template `{name}` has {found} components, problem has {expected} dimensions"
+            ),
+            TemplateError::DuplicateName(n) => write!(f, "duplicate template name `{n}`"),
+            TemplateError::MixedSigns { dim } => write!(
+                f,
+                "dimension {dim} has templates with both positive and negative components; \
+                 no single scan direction satisfies the dependencies"
+            ),
+            TemplateError::ZeroTemplate(n) => {
+                write!(f, "template `{n}` is the zero vector (self-dependence)")
+            }
+            TemplateError::TooManyDims(d) => {
+                write!(f, "{d} dimensions exceed the supported maximum of {MAX_DIMS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl TemplateSet {
+    /// Validate and build a template set for a `dims`-dimensional problem.
+    pub fn new(dims: usize, templates: Vec<Template>) -> Result<TemplateSet, TemplateError> {
+        if dims > MAX_DIMS {
+            return Err(TemplateError::TooManyDims(dims));
+        }
+        for (i, t) in templates.iter().enumerate() {
+            if t.offset.dims() != dims {
+                return Err(TemplateError::DimMismatch {
+                    name: t.name.clone(),
+                    expected: dims,
+                    found: t.offset.dims(),
+                });
+            }
+            if t.offset.as_slice().iter().all(|&c| c == 0) {
+                return Err(TemplateError::ZeroTemplate(t.name.clone()));
+            }
+            if templates[..i].iter().any(|u| u.name == t.name) {
+                return Err(TemplateError::DuplicateName(t.name.clone()));
+            }
+        }
+        let mut directions = Vec::with_capacity(dims);
+        for k in 0..dims {
+            let has_pos = templates.iter().any(|t| t.offset[k] > 0);
+            let has_neg = templates.iter().any(|t| t.offset[k] < 0);
+            match (has_pos, has_neg) {
+                (true, true) => return Err(TemplateError::MixedSigns { dim: k }),
+                (false, true) => directions.push(Direction::Ascending),
+                // All-zero columns default to the Figure 3 descending scan.
+                _ => directions.push(Direction::Descending),
+            }
+        }
+        Ok(TemplateSet {
+            templates,
+            dims,
+            directions,
+        })
+    }
+
+    /// The problem dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The templates, in declaration order (the index is the template id).
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when there are no templates (a pure initialisation problem).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Scan direction for each dimension.
+    pub fn directions(&self) -> &[Direction] {
+        &self.directions
+    }
+
+    /// Largest positive component per dimension over all templates
+    /// (the high-side ghost padding).
+    pub fn max_positive(&self, dim: usize) -> i64 {
+        self.templates
+            .iter()
+            .map(|t| t.offset[dim].max(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest magnitude of negative components per dimension
+    /// (the low-side ghost padding).
+    pub fn max_negative(&self, dim: usize) -> i64 {
+        self.templates
+            .iter()
+            .map(|t| (-t.offset[dim]).max(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Index of the template named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.templates.iter().position(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bandit_templates() -> Vec<Template> {
+        vec![
+            Template::new("r1", &[1, 0, 0, 0]),
+            Template::new("r2", &[0, 1, 0, 0]),
+            Template::new("r3", &[0, 0, 1, 0]),
+            Template::new("r4", &[0, 0, 0, 1]),
+        ]
+    }
+
+    #[test]
+    fn bandit_set_is_valid_and_descending() {
+        let set = TemplateSet::new(4, bandit_templates()).unwrap();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.dims(), 4);
+        assert!(set.directions().iter().all(|&d| d == Direction::Descending));
+        assert_eq!(set.index_of("r3"), Some(2));
+        assert_eq!(set.index_of("zz"), None);
+    }
+
+    #[test]
+    fn lcs_style_negative_templates_ascend() {
+        // LCS reads f(x - e1), f(x - e2), f(x - e1 - e2).
+        let set = TemplateSet::new(
+            2,
+            vec![
+                Template::new("up", &[-1, 0]),
+                Template::new("left", &[0, -1]),
+                Template::new("diag", &[-1, -1]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            set.directions(),
+            &[Direction::Ascending, Direction::Ascending]
+        );
+        assert_eq!(set.max_positive(0), 0);
+        assert_eq!(set.max_negative(0), 1);
+    }
+
+    #[test]
+    fn mixed_signs_rejected() {
+        let err = TemplateSet::new(
+            2,
+            vec![
+                Template::new("a", &[1, 0]),
+                Template::new("b", &[-1, 0]),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, TemplateError::MixedSigns { dim: 0 });
+    }
+
+    #[test]
+    fn zero_template_rejected() {
+        let err = TemplateSet::new(2, vec![Template::new("z", &[0, 0])]).unwrap_err();
+        assert_eq!(err, TemplateError::ZeroTemplate("z".into()));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = TemplateSet::new(
+            1,
+            vec![Template::new("r", &[1]), Template::new("r", &[2])],
+        )
+        .unwrap_err();
+        assert_eq!(err, TemplateError::DuplicateName("r".into()));
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let err = TemplateSet::new(3, vec![Template::new("r", &[1, 0])]).unwrap_err();
+        assert!(matches!(err, TemplateError::DimMismatch { .. }));
+    }
+
+    #[test]
+    fn paddings_per_dimension() {
+        let set = TemplateSet::new(
+            2,
+            vec![
+                Template::new("a", &[2, 0]),
+                Template::new("b", &[1, 3]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(set.max_positive(0), 2);
+        assert_eq!(set.max_positive(1), 3);
+        assert_eq!(set.max_negative(0), 0);
+        assert_eq!(set.max_negative(1), 0);
+    }
+
+    #[test]
+    fn empty_set_allowed() {
+        let set = TemplateSet::new(2, vec![]).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.directions(), &[Direction::Descending, Direction::Descending]);
+    }
+}

@@ -1,0 +1,752 @@
+//! The [`Tiling`]: everything the generator derives from a problem's
+//! iteration space, template vectors and tile widths (Section IV of the
+//! paper), packaged for the runtime to execute.
+
+use crate::coord::{Coord, MAX_DIMS};
+use crate::deps::{derive_tile_deps, TileDep};
+use crate::edges::{build_edge_layouts, EdgeLayout};
+use crate::layout::TileLayout;
+use crate::template::{Direction, TemplateError, TemplateSet};
+use dpgen_polyhedra::{
+    Constraint, ConstraintSystem, LinExpr, LoopNest, PolyError, Space, VarKind,
+};
+use std::fmt;
+
+/// Errors from tiling construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingError {
+    /// A polyhedral operation failed.
+    Poly(PolyError),
+    /// Template validation failed.
+    Template(TemplateError),
+    /// Inconsistent builder input.
+    Input(String),
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::Poly(e) => write!(f, "polyhedral error: {e}"),
+            TilingError::Template(e) => write!(f, "template error: {e}"),
+            TilingError::Input(m) => write!(f, "invalid tiling input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+impl From<PolyError> for TilingError {
+    fn from(e: PolyError) -> TilingError {
+        TilingError::Poly(e)
+    }
+}
+
+impl From<TemplateError> for TilingError {
+    fn from(e: TemplateError) -> TilingError {
+        TilingError::Template(e)
+    }
+}
+
+/// Builder for [`Tiling`].
+pub struct TilingBuilder {
+    system: ConstraintSystem,
+    templates: TemplateSet,
+    widths: Vec<i64>,
+    loop_order: Option<Vec<usize>>,
+}
+
+impl TilingBuilder {
+    /// Start from the problem's iteration space (variables = the `x_k`,
+    /// parameters marked as such in the space), its validated template set
+    /// and the tile widths `w_k` (one per dimension).
+    pub fn new(system: ConstraintSystem, templates: TemplateSet, widths: Vec<i64>) -> TilingBuilder {
+        TilingBuilder {
+            system,
+            templates,
+            widths,
+            loop_order: None,
+        }
+    }
+
+    /// Loop ordering over problem dimensions, outermost first (a permutation
+    /// of `0..d`). Defaults to `0, 1, ..., d-1`.
+    pub fn loop_order(mut self, order: Vec<usize>) -> TilingBuilder {
+        self.loop_order = Some(order);
+        self
+    }
+
+    /// Derive the full tiling.
+    pub fn build(self) -> Result<Tiling, TilingError> {
+        Tiling::derive(self.system, self.templates, self.widths, self.loop_order)
+    }
+}
+
+/// One cell of an executing tile, as seen by the user's center-loop code
+/// (the paper's programming interface, Section IV-B).
+#[derive(Debug, Clone, Copy)]
+pub struct CellRef<'a> {
+    /// Buffer index of the current location (`V[loc]`).
+    pub loc: usize,
+    /// Global coordinates `x` of the current location.
+    pub x: &'a [i64],
+    /// Local (within-tile) coordinates `i`.
+    pub local: &'a [i64],
+    /// `is_valid_r<j>` per template: true when `x + r_j` lies inside the
+    /// iteration space (so `V[loc_r<j>]` holds a computed value).
+    pub valid: &'a [bool],
+    /// Per-template constant buffer offsets: `loc_r<j> = loc + offsets[j]`
+    /// (signed).
+    pub offsets: &'a [i64],
+}
+
+impl CellRef<'_> {
+    /// Buffer index of dependency `j` (`V[loc_r<j>]`).
+    pub fn loc_r(&self, j: usize) -> usize {
+        (self.loc as i64 + self.offsets[j]) as usize
+    }
+}
+
+/// Everything derived from one problem description: iteration spaces, tile
+/// space, dependencies, validity/mapping functions and edge layouts.
+#[derive(Debug, Clone)]
+pub struct Tiling {
+    original: ConstraintSystem,
+    templates: TemplateSet,
+    widths: Vec<i64>,
+    loop_order: Vec<usize>,
+    ext_space: Space,
+    i_cols: Vec<usize>,
+    t_cols: Vec<usize>,
+    param_cols: Vec<usize>,
+    local_system: ConstraintSystem,
+    local_nest: LoopNest,
+    local_desc: Vec<bool>,
+    tile_system: ConstraintSystem,
+    tile_nest: LoopNest,
+    original_nest: LoopNest,
+    deps: Vec<TileDep>,
+    layout: TileLayout,
+    edges: Vec<EdgeLayout>,
+    /// Unique validity check expressions over the extended space.
+    validity_checks: Vec<LinExpr>,
+    /// Per template: indices into `validity_checks` that must all be `>= 0`.
+    validity_per_template: Vec<Vec<usize>>,
+}
+
+impl Tiling {
+    fn derive(
+        original: ConstraintSystem,
+        templates: TemplateSet,
+        widths: Vec<i64>,
+        loop_order: Option<Vec<usize>>,
+    ) -> Result<Tiling, TilingError> {
+        let var_cols = original.space().var_indices();
+        let d = var_cols.len();
+        if d == 0 || d > MAX_DIMS {
+            return Err(TilingError::Input(format!(
+                "problem must have 1..={MAX_DIMS} dimensions, has {d}"
+            )));
+        }
+        if templates.dims() != d {
+            return Err(TilingError::Input(format!(
+                "templates have {} dimensions, problem has {d}",
+                templates.dims()
+            )));
+        }
+        if widths.len() != d {
+            return Err(TilingError::Input(format!(
+                "{} widths given for {d} dimensions",
+                widths.len()
+            )));
+        }
+        if widths.iter().any(|&w| w < 1) {
+            return Err(TilingError::Input("tile widths must be >= 1".into()));
+        }
+        let loop_order = loop_order.unwrap_or_else(|| (0..d).collect());
+        {
+            let mut sorted = loop_order.clone();
+            sorted.sort_unstable();
+            if sorted != (0..d).collect::<Vec<_>>() {
+                return Err(TilingError::Input(format!(
+                    "loop order {loop_order:?} is not a permutation of 0..{d}"
+                )));
+            }
+        }
+        // The original system's variable columns must come first (the
+        // standard Space::from_names layout).
+        if var_cols != (0..d).collect::<Vec<_>>() {
+            return Err(TilingError::Input(
+                "iteration-space variables must precede parameters in the space".into(),
+            ));
+        }
+
+        // --- Extended space: [i_0.., t_0.., params..] ------------------
+        let orig_space = original.space();
+        let mut ext_space = Space::new();
+        let mut i_cols = Vec::with_capacity(d);
+        let mut t_cols = Vec::with_capacity(d);
+        for k in 0..d {
+            i_cols.push(ext_space.add(&format!("i_{}", orig_space.name(k)), VarKind::Var)?);
+        }
+        for k in 0..d {
+            t_cols.push(ext_space.add(&format!("t_{}", orig_space.name(k)), VarKind::Var)?);
+        }
+        let mut param_cols = Vec::new();
+        for &p in &orig_space.param_indices() {
+            param_cols.push(ext_space.add(orig_space.name(p), VarKind::Param)?);
+        }
+        let orig_param_cols = orig_space.param_indices();
+
+        // Translate an original-space expression (x_k = i_k + w_k t_k).
+        let ext_dim = ext_space.dim();
+        let to_ext = |expr: &LinExpr| -> LinExpr {
+            let mut out = LinExpr::zero(ext_dim);
+            for k in 0..d {
+                let a = expr.coeff(k);
+                if a != 0 {
+                    out.set_coeff(i_cols[k], a);
+                    out.set_coeff(t_cols[k], a * widths[k] as i128);
+                }
+            }
+            for (ek, &ok) in param_cols.iter().zip(&orig_param_cols) {
+                out.set_coeff(*ek, expr.coeff(ok));
+            }
+            out.set_constant(expr.constant_term());
+            out
+        };
+
+        // --- Local (within-tile) iteration space -----------------------
+        let mut local_system = ConstraintSystem::new(ext_space.clone());
+        for c in original.constraints() {
+            local_system.add(Constraint::ge0(to_ext(c.expr())))?;
+        }
+        for k in 0..d {
+            // 0 <= i_k <= w_k - 1
+            local_system.add(Constraint::ge0(LinExpr::var(ext_dim, i_cols[k])))?;
+            let mut ub = LinExpr::zero(ext_dim);
+            ub.set_coeff(i_cols[k], -1);
+            ub.set_constant(widths[k] as i128 - 1);
+            local_system.add(Constraint::ge0(ub))?;
+        }
+        local_system.simplify();
+
+        let i_order: Vec<usize> = loop_order.iter().map(|&k| i_cols[k]).collect();
+        let local_nest = LoopNest::synthesize_with_free(&local_system, &i_order)?;
+        let local_desc: Vec<bool> = loop_order
+            .iter()
+            .map(|&k| templates.directions()[k] == Direction::Descending)
+            .collect();
+
+        // --- Tile space: FM-eliminate the local indices ----------------
+        let tile_system = dpgen_polyhedra::fm::eliminate_all(&local_system, &i_cols)?;
+        let t_order: Vec<usize> = loop_order.iter().map(|&k| t_cols[k]).collect();
+        let tile_nest = LoopNest::synthesize_with_free(&tile_system, &t_order)?;
+
+        // --- Original-space nest (reference scans, work counting) ------
+        let orig_order: Vec<usize> = loop_order.clone();
+        let original_nest = LoopNest::synthesize(&original, &orig_order)?;
+
+        // --- Tile dependencies, layout, edges ---------------------------
+        let deps = derive_tile_deps(&templates, &widths);
+        let layout = TileLayout::new(&widths, &templates);
+        let edges = build_edge_layouts(&local_system, &i_cols, &i_order, &widths, &templates, &deps)?;
+
+        // --- Validity functions (Section IV-G) --------------------------
+        // Template j needs constraint c checked iff adding r_j can violate
+        // it, i.e. the shift a·r_j is negative. The shifted constraint is the
+        // original with constant increased by a·r_j; identical shifted
+        // expressions are shared between templates (the paper's reuse).
+        let mut validity_checks: Vec<LinExpr> = Vec::new();
+        let mut validity_per_template: Vec<Vec<usize>> = Vec::with_capacity(templates.len());
+        for t in templates.templates() {
+            let mut idxs = Vec::new();
+            for c in original.constraints() {
+                let shift: i128 = (0..d)
+                    .map(|k| c.expr().coeff(k) * t.offset[k] as i128)
+                    .sum();
+                if shift < 0 {
+                    let mut shifted = c.expr().clone();
+                    shifted.set_constant(shifted.constant_term() + shift);
+                    let ext = to_ext(&shifted);
+                    let idx = validity_checks
+                        .iter()
+                        .position(|e| *e == ext)
+                        .unwrap_or_else(|| {
+                            validity_checks.push(ext.clone());
+                            validity_checks.len() - 1
+                        });
+                    idxs.push(idx);
+                }
+            }
+            idxs.sort_unstable();
+            idxs.dedup();
+            validity_per_template.push(idxs);
+        }
+
+        Ok(Tiling {
+            original,
+            templates,
+            widths,
+            loop_order,
+            ext_space,
+            i_cols,
+            t_cols,
+            param_cols,
+            local_system,
+            local_nest,
+            local_desc,
+            tile_system,
+            tile_nest,
+            original_nest,
+            deps,
+            layout,
+            edges,
+            validity_checks,
+            validity_per_template,
+        })
+    }
+
+    /// Problem dimensionality.
+    pub fn dims(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Tile widths per dimension.
+    pub fn widths(&self) -> &[i64] {
+        &self.widths
+    }
+
+    /// The problem's original iteration space.
+    pub fn original(&self) -> &ConstraintSystem {
+        &self.original
+    }
+
+    /// The validated template set.
+    pub fn templates(&self) -> &TemplateSet {
+        &self.templates
+    }
+
+    /// Loop ordering over problem dimensions, outermost first.
+    pub fn loop_order(&self) -> &[usize] {
+        &self.loop_order
+    }
+
+    /// The extended space `[i_.., t_.., params..]`.
+    pub fn ext_space(&self) -> &Space {
+        &self.ext_space
+    }
+
+    /// Extended-space columns of the local indices, problem-dimension order.
+    pub fn i_cols(&self) -> &[usize] {
+        &self.i_cols
+    }
+
+    /// Extended-space columns of the tile indices, problem-dimension order.
+    pub fn t_cols(&self) -> &[usize] {
+        &self.t_cols
+    }
+
+    /// Extended-space columns of the parameters.
+    pub fn param_cols(&self) -> &[usize] {
+        &self.param_cols
+    }
+
+    /// The within-tile iteration space over the extended space.
+    pub fn local_system(&self) -> &ConstraintSystem {
+        &self.local_system
+    }
+
+    /// The within-tile loop nest (Figure 3).
+    pub fn local_nest(&self) -> &LoopNest {
+        &self.local_nest
+    }
+
+    /// The tile space (constraints over tile indices and parameters).
+    pub fn tile_system(&self) -> &ConstraintSystem {
+        &self.tile_system
+    }
+
+    /// The loop nest scanning all tile indices.
+    pub fn tile_nest(&self) -> &LoopNest {
+        &self.tile_nest
+    }
+
+    /// Loop nest scanning the *original* (untiled) iteration space, used by
+    /// serial reference executions and work counting.
+    pub fn original_nest(&self) -> &LoopNest {
+        &self.original_nest
+    }
+
+    /// The distinct tile dependencies (sorted by offset).
+    pub fn deps(&self) -> &[TileDep] {
+        &self.deps
+    }
+
+    /// The ghost-padded tile buffer layout.
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    /// Edge layouts, aligned with [`Tiling::deps`].
+    pub fn edges(&self) -> &[EdgeLayout] {
+        &self.edges
+    }
+
+    /// Unique validity-check expressions over the extended space
+    /// (Section IV-G); shared between templates.
+    pub fn validity_checks(&self) -> &[LinExpr] {
+        &self.validity_checks
+    }
+
+    /// Per template: indices into [`Tiling::validity_checks`] that must all
+    /// evaluate `>= 0` for the dependency to be valid.
+    pub fn validity_per_template(&self) -> &[Vec<usize>] {
+        &self.validity_per_template
+    }
+
+    /// The edge layout for a given offset, if it is a dependency.
+    pub fn edge_for(&self, delta: &Coord) -> Option<&EdgeLayout> {
+        self.edges.iter().find(|e| &e.delta == delta)
+    }
+
+    /// Allocate a full extended-space point with the parameters bound.
+    pub fn make_point(&self, params: &[i64]) -> Vec<i128> {
+        assert_eq!(params.len(), self.param_cols.len(), "parameter arity mismatch");
+        let mut point = vec![0i128; self.ext_space.dim()];
+        for (col, &v) in self.param_cols.iter().zip(params) {
+            point[*col] = v as i128;
+        }
+        point
+    }
+
+    /// Write a tile's indices into an extended point.
+    pub fn set_tile(&self, tile: &Coord, point: &mut [i128]) {
+        tile.write_to(point, &self.t_cols);
+    }
+
+    /// Is this tile index inside the tile space? (Over-approximate for
+    /// sharp corners — an included tile may still contain zero cells, which
+    /// is handled uniformly by empty loops.)
+    pub fn tile_in_space(&self, tile: &Coord, point: &mut [i128]) -> bool {
+        self.set_tile(tile, point);
+        self.tile_system
+            .contains(point)
+            .expect("tile-space membership evaluation failed")
+    }
+
+    /// Visit every valid tile index (in tile-nest order).
+    pub fn for_each_tile<F: FnMut(Coord)>(&self, point: &mut [i128], mut f: F) {
+        let t_cols = &self.t_cols;
+        let d = self.dims();
+        self.tile_nest
+            .for_each_point(point, |p| {
+                let mut c = Coord::zeros(d);
+                for k in 0..d {
+                    c.set(k, p[t_cols[k]] as i64);
+                }
+                f(c);
+            })
+            .expect("tile enumeration failed");
+    }
+
+    /// Number of tile dependencies of `tile` that point to valid tiles —
+    /// the count the scheduler waits for before executing it.
+    pub fn dep_total(&self, tile: &Coord, point: &mut [i128]) -> usize {
+        self.deps
+            .iter()
+            .filter(|dep| {
+                let n = tile.add(&dep.delta);
+                self.tile_in_space(&n, point)
+            })
+            .count()
+    }
+
+    /// Number of cells in one tile.
+    pub fn tile_cell_count(&self, tile: &Coord, point: &mut [i128]) -> u128 {
+        self.set_tile(tile, point);
+        self.local_nest.count(point).expect("tile cell count failed")
+    }
+
+    /// Total number of cells in the whole iteration space (original space;
+    /// `point` must be an original-space point with parameters bound).
+    pub fn total_cells(&self, params: &[i64]) -> u128 {
+        let dim = self.original.space().dim();
+        let mut point = vec![0i128; dim];
+        for (k, &p) in self.original.space().param_indices().iter().zip(params) {
+            point[*k] = p as i128;
+        }
+        self.original_nest.count(&mut point).expect("total cell count failed")
+    }
+
+    /// Execute the center-loop scan over one tile: visit every cell in a
+    /// dependency-respecting order (descending per Figure 3 for positive
+    /// templates), handing the kernel a [`CellRef`] with the paper's
+    /// programming-interface symbols.
+    pub fn scan_tile<F: FnMut(CellRef<'_>)>(
+        &self,
+        tile: &Coord,
+        point: &mut [i128],
+        mut f: F,
+    ) -> Result<(), PolyError> {
+        self.set_tile(tile, point);
+        let d = self.dims();
+        let i_cols = &self.i_cols;
+        let widths = &self.widths;
+        let layout = &self.layout;
+        let checks = &self.validity_checks;
+        let per_template = &self.validity_per_template;
+        let offsets = layout.template_offsets();
+        let ntemplates = self.templates.len();
+        let mut local = [0i64; MAX_DIMS];
+        let mut x = [0i64; MAX_DIMS];
+        let mut valid = [false; MAX_DIMS * 4];
+        let mut check_vals = [false; MAX_DIMS * 4];
+        assert!(ntemplates <= MAX_DIMS * 4, "too many templates");
+        assert!(checks.len() <= MAX_DIMS * 4, "too many validity checks");
+        let tile_vals = tile.as_slice();
+        self.local_nest.for_each_point_directed(point, &self.local_desc, |p| {
+            for k in 0..d {
+                local[k] = p[i_cols[k]] as i64;
+                x[k] = local[k] + widths[k] * tile_vals[k];
+            }
+            for (ci, check) in checks.iter().enumerate() {
+                check_vals[ci] = check.eval(p).expect("validity evaluation failed") >= 0;
+            }
+            for (j, idxs) in per_template.iter().enumerate() {
+                valid[j] = idxs.iter().all(|&ci| check_vals[ci]);
+            }
+            let loc = layout.loc(&local[..d]);
+            f(CellRef {
+                loc,
+                x: &x[..d],
+                local: &local[..d],
+                valid: &valid[..ntemplates],
+                offsets,
+            });
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+
+    /// The 2-D triangle problem: x + y <= N, x, y >= 0 with unit templates —
+    /// a 2-D stand-in for the bandit simplex.
+    fn triangle_tiling(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![
+                Template::new("r1", &[1, 0]),
+                Template::new("r2", &[0, 1]),
+            ],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+    }
+
+    #[test]
+    fn tile_space_membership() {
+        let tiling = triangle_tiling(4);
+        let mut point = tiling.make_point(&[10]); // N = 10: x, y in [0, 10]
+        // Tiles (0,0) .. (2,2): tile (tx, ty) valid iff it contains a point
+        // with 4tx + 4ty <= 10, i.e. tx + ty <= 2 (since local origin).
+        assert!(tiling.tile_in_space(&Coord::from_slice(&[0, 0]), &mut point));
+        assert!(tiling.tile_in_space(&Coord::from_slice(&[2, 0]), &mut point));
+        assert!(tiling.tile_in_space(&Coord::from_slice(&[1, 1]), &mut point));
+        assert!(!tiling.tile_in_space(&Coord::from_slice(&[2, 1]), &mut point));
+        assert!(!tiling.tile_in_space(&Coord::from_slice(&[3, 0]), &mut point));
+        assert!(!tiling.tile_in_space(&Coord::from_slice(&[-1, 0]), &mut point));
+    }
+
+    #[test]
+    fn tiles_cover_iteration_space_exactly() {
+        // Every original point must lie in exactly one tile's local scan.
+        let tiling = triangle_tiling(3);
+        let n = 8i64;
+        let mut point = tiling.make_point(&[n]);
+        let mut covered = std::collections::BTreeMap::new();
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        for t in &tiles {
+            let mut p = tiling.make_point(&[n]);
+            tiling
+                .scan_tile(t, &mut p, |cell| {
+                    *covered.entry((cell.x[0], cell.x[1])).or_insert(0) += 1;
+                })
+                .unwrap();
+        }
+        let mut expect = std::collections::BTreeMap::new();
+        for x in 0..=n {
+            for y in 0..=(n - x) {
+                expect.insert((x, y), 1);
+            }
+        }
+        assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn scan_order_respects_dependencies() {
+        // With positive unit templates, x + r must be scanned before x
+        // whenever both are in the same tile.
+        let tiling = triangle_tiling(4);
+        let mut point = tiling.make_point(&[7]);
+        let mut order = std::collections::HashMap::new();
+        let mut idx = 0usize;
+        tiling
+            .scan_tile(&Coord::from_slice(&[0, 0]), &mut point, |cell| {
+                order.insert((cell.x[0], cell.x[1]), idx);
+                idx += 1;
+            })
+            .unwrap();
+        for (&(x, y), &i) in &order {
+            if let Some(&j) = order.get(&(x + 1, y)) {
+                assert!(j < i, "({},{}) scanned after its dependency", x, y);
+            }
+            if let Some(&j) = order.get(&(x, y + 1)) {
+                assert!(j < i);
+            }
+        }
+    }
+
+    #[test]
+    fn validity_flags_match_geometry() {
+        let tiling = triangle_tiling(4);
+        let n = 6i64;
+        let mut point = tiling.make_point(&[n]);
+        tiling
+            .scan_tile(&Coord::from_slice(&[1, 0]), &mut point, |cell| {
+                let (x, y) = (cell.x[0], cell.x[1]);
+                // r1 = +e_x valid iff (x+1) + y <= N.
+                assert_eq!(cell.valid[0], x + 1 + y <= n, "r1 at ({x},{y})");
+                assert_eq!(cell.valid[1], x + y + 1 <= n, "r2 at ({x},{y})");
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn dep_total_counts_valid_neighbours() {
+        let tiling = triangle_tiling(4);
+        let mut point = tiling.make_point(&[10]); // tiles: tx + ty <= 2
+        // Corner tile (2,0): neighbours (3,0) and (2,1) are outside -> 0 deps.
+        assert_eq!(tiling.dep_total(&Coord::from_slice(&[2, 0]), &mut point), 0);
+        // Tile (1,1): neighbour (2,1) invalid, (1,2) invalid -> 0 deps? No:
+        // (1,1)+(1,0)=(2,1) invalid; (1,1)+(0,1)=(1,2) invalid. 0 deps.
+        assert_eq!(tiling.dep_total(&Coord::from_slice(&[1, 1]), &mut point), 0);
+        // Tile (0,0): neighbours (1,0) and (0,1) valid -> 2 deps.
+        assert_eq!(tiling.dep_total(&Coord::from_slice(&[0, 0]), &mut point), 2);
+        // Tile (1,0): (2,0) valid, (1,1) valid -> 2 deps.
+        assert_eq!(tiling.dep_total(&Coord::from_slice(&[1, 0]), &mut point), 2);
+    }
+
+    #[test]
+    fn cell_counts_add_up() {
+        let tiling = triangle_tiling(3);
+        let n = 10i64;
+        let mut point = tiling.make_point(&[n]);
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        let total: u128 = tiles
+            .iter()
+            .map(|t| {
+                let mut p = tiling.make_point(&[n]);
+                tiling.tile_cell_count(t, &mut p)
+            })
+            .sum();
+        assert_eq!(total, tiling.total_cells(&[n]));
+        assert_eq!(total, ((n + 1) * (n + 2) / 2) as u128);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        let t = TemplateSet::new(2, vec![Template::new("r", &[1, 0])]).unwrap();
+        // Wrong width arity.
+        assert!(matches!(
+            TilingBuilder::new(sys.clone(), t.clone(), vec![4]).build(),
+            Err(TilingError::Input(_))
+        ));
+        // Zero width.
+        assert!(matches!(
+            TilingBuilder::new(sys.clone(), t.clone(), vec![4, 0]).build(),
+            Err(TilingError::Input(_))
+        ));
+        // Bad loop order.
+        assert!(matches!(
+            TilingBuilder::new(sys.clone(), t.clone(), vec![4, 4])
+                .loop_order(vec![0, 0])
+                .build(),
+            Err(TilingError::Input(_))
+        ));
+        // Good build.
+        assert!(TilingBuilder::new(sys, t, vec![4, 4]).build().is_ok());
+    }
+
+    #[test]
+    fn edge_cells_cover_cross_tile_reads() {
+        // Every cross-tile read of every cell must target a cell present in
+        // the corresponding edge region of the neighbour.
+        let tiling = triangle_tiling(4);
+        let n = 9i64;
+        // Collect edge cells per (source tile, delta).
+        let mut point = tiling.make_point(&[n]);
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        use std::collections::HashSet;
+        let mut edge_cells: std::collections::HashMap<(Coord, Coord), HashSet<(i64, i64)>> =
+            Default::default();
+        for t in &tiles {
+            for e in tiling.edges() {
+                let mut p = tiling.make_point(&[n]);
+                tiling.set_tile(t, &mut p);
+                let mut cells = HashSet::new();
+                e.for_each_cell(&mut p, |j| {
+                    cells.insert((j[0], j[1]));
+                })
+                .unwrap();
+                edge_cells.insert((*t, e.delta), cells);
+            }
+        }
+        // Now walk every cell and check its valid reads.
+        for t in &tiles {
+            let w = tiling.widths()[0];
+            let mut p = tiling.make_point(&[n]);
+            let mut reads: Vec<((i64, i64), (i64, i64))> = Vec::new();
+            tiling
+                .scan_tile(t, &mut p, |cell| {
+                    for (j, tmpl) in tiling.templates().templates().iter().enumerate() {
+                        if cell.valid[j] {
+                            let rx = cell.x[0] + tmpl.offset[0];
+                            let ry = cell.x[1] + tmpl.offset[1];
+                            reads.push(((cell.x[0], cell.x[1]), (rx, ry)));
+                        }
+                    }
+                })
+                .unwrap();
+            for ((_x, _y), (rx, ry)) in reads {
+                let src_tile = Coord::from_slice(&[rx.div_euclid(w), ry.div_euclid(w)]);
+                if &src_tile == t {
+                    continue; // intra-tile read
+                }
+                let delta = src_tile.sub(t);
+                let local = (rx - w * src_tile[0], ry - w * src_tile[1]);
+                let cells = edge_cells
+                    .get(&(src_tile, delta))
+                    .unwrap_or_else(|| panic!("no edge ({src_tile:?}, {delta:?})"));
+                assert!(
+                    cells.contains(&local),
+                    "read {local:?} not packed in edge {delta:?} of {src_tile:?}"
+                );
+            }
+        }
+    }
+}

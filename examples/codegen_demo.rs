@@ -1,0 +1,32 @@
+//! Emit the actual artifact of the paper: a hybrid OpenMP + MPI C program.
+//!
+//! The paper's generator reads a problem description and writes a complete
+//! C program. This example runs that pipeline for the 2-arm bandit and
+//! writes `bandit2_generated.c` — the Fourier–Motzkin loop bounds, mapping
+//! and validity functions, per-edge packing/unpacking functions, load
+//! balancing, and the OpenMP worker loop with MPI edge exchange.
+//!
+//! Run with: `cargo run --release --example codegen_demo [out.c]`
+
+use dpgen::codegen::emit_c;
+use dpgen::core::spec::bandit2_spec_text;
+use dpgen::core::Program;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bandit2_generated.c".to_string());
+    let program = Program::parse(&bandit2_spec_text(8)).expect("bandit2 generates");
+    let source = emit_c(&program);
+    std::fs::write(&out, &source).expect("write generated source");
+    println!(
+        "wrote {out}: {} lines of hybrid OpenMP + MPI C",
+        source.lines().count()
+    );
+    println!("--- first 60 lines ---");
+    for line in source.lines().take(60) {
+        println!("{line}");
+    }
+    println!("--- ... ---");
+    println!("compile on a cluster with: mpicc -fopenmp -O2 {out} -o bandit2");
+}

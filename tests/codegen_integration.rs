@@ -1,0 +1,97 @@
+//! Code generation across every workload: the emitted hybrid C program
+//! must be structurally complete for each problem family, and its loop
+//! bounds must agree with the runtime's evaluated bounds.
+
+use dpgen::codegen::emit_c;
+use dpgen::core::Program;
+use dpgen::problems::{Bandit2, Bandit3, BanditDelay, EditDistance, Lcs, Msa};
+
+fn check_structure(name: &str, src: &str, ndeps: usize) {
+    assert_eq!(
+        src.matches('{').count(),
+        src.matches('}').count(),
+        "{name}: unbalanced braces"
+    );
+    assert_eq!(
+        src.matches('(').count(),
+        src.matches(')').count(),
+        "{name}: unbalanced parens"
+    );
+    for needle in [
+        "#include <mpi.h>",
+        "#include <omp.h>",
+        "#pragma omp parallel",
+        "MPI_Init",
+        "MPI_Finalize",
+        "static int tile_in_space",
+        "static void execute_tile",
+        "static long tile_work",
+        "int main(int argc, char** argv)",
+    ] {
+        assert!(src.contains(needle), "{name}: missing `{needle}`");
+    }
+    for e in 0..ndeps {
+        assert!(src.contains(&format!("pack_edge_{e}")), "{name}: missing pack_edge_{e}");
+        assert!(src.contains(&format!("unpack_edge_{e}")), "{name}: missing unpack_edge_{e}");
+    }
+}
+
+#[test]
+fn all_problem_families_emit_complete_programs() {
+    let programs: Vec<(&str, Program)> = vec![
+        ("bandit2", Bandit2::program(8).unwrap()),
+        ("bandit3", Bandit3::program(4).unwrap()),
+        ("bandit_delay", BanditDelay::program(3).unwrap()),
+        ("editdist", EditDistance::program(16).unwrap()),
+        ("lcs2", Lcs::program(2, 16).unwrap()),
+        ("lcs3", Lcs::program(3, 8).unwrap()),
+        ("msa3", Msa::program(3, 8).unwrap()),
+        ("msa4", Msa::program(4, 4).unwrap()),
+    ];
+    for (name, program) in &programs {
+        let src = emit_c(program);
+        check_structure(name, &src, program.tiling().deps().len());
+        // Dimensions and template counts are reflected in the defines.
+        assert!(src.contains(&format!("#define NDIMS {}", program.tiling().dims())));
+        assert!(src.contains(&format!(
+            "#define NTEMPLATES {}",
+            program.tiling().templates().len()
+        )));
+    }
+}
+
+#[test]
+fn negative_template_problems_emit_ascending_loops() {
+    let src = emit_c(&EditDistance::program(8).unwrap());
+    // LCS/edit-distance style problems scan upward.
+    assert!(src.contains("++i_i") || src.contains("++i_j"), "expected ascending loops");
+}
+
+#[test]
+fn emitted_bounds_match_runtime_bounds() {
+    // The C loop bound text for the triangle's local nest must evaluate to
+    // the same numbers the runtime computes. We spot-check by rendering and
+    // string-matching the generated code for known structures.
+    let program = Program::parse(
+        "name tri\nvars x y\nparams N\n\
+         constraint x >= 0\nconstraint y >= 0\nconstraint x + y <= N\n\
+         template r1 1 0\ntemplate r2 0 1\nwidths 4 4\n",
+    )
+    .unwrap();
+    let src = emit_c(&program);
+    // Local index variables and the x = i + w*t reconstruction must appear.
+    assert!(src.contains("const long x = i_x + 4 * t_x;"), "missing x reconstruction");
+    assert!(src.contains("const long y = i_y + 4 * t_y;"), "missing y reconstruction");
+    // The simplex constraint produces a validity check mentioning N.
+    assert!(src.contains("is_valid_r1"));
+    assert!(src.contains("is_valid_r2"));
+}
+
+#[test]
+fn user_code_is_passed_through_verbatim_lines() {
+    let program = Bandit2::program(8).unwrap();
+    let src = emit_c(&program);
+    assert!(src.contains("V[loc] = DP_MAX(V1, V2);"));
+    assert!(src.contains("const double p1 = (a1 + s1) / (a1 + b1 + s1 + f1);"));
+    assert!(src.contains("static const double a1 = 1, b1 = 1, a2 = 1, b2 = 1;"));
+}

@@ -1,0 +1,185 @@
+//! Property-based cross-executor consistency: for randomized iteration
+//! spaces, tile widths, thread counts and rank counts, the tiled runtime
+//! and the hybrid driver must agree exactly with the dense reference
+//! executor.
+
+use dpgen::core::driver::{run_hybrid, HybridConfig};
+use dpgen::polyhedra::{ConstraintSystem, Space};
+use dpgen::runtime::{run_reference, run_shared, Probe, TilePriority};
+use dpgen::tiling::tiling::CellRef;
+use dpgen::tiling::{Template, TemplateSet, Tiling, TilingBuilder};
+use proptest::prelude::*;
+
+/// Build a random 2-D iteration space: a box with up to two extra random
+/// half-plane cuts (kept feasible by construction through the origin
+/// region), unit positive templates.
+fn build_tiling(
+    cuts: &[(i64, i64, i64)],
+    widths: (i64, i64),
+) -> Option<Tiling> {
+    let space = Space::from_names(&["x", "y"], &["N"]).ok()?;
+    let mut sys = ConstraintSystem::new(space);
+    sys.add_text("0 <= x <= N").ok()?;
+    sys.add_text("0 <= y <= N").ok()?;
+    for &(a, b, c) in cuts {
+        // a*x + b*y <= c*N with a, b >= 0 and c >= a + b keeps the
+        // diagonal corner cut but the space nonempty (origin stays in).
+        sys.add_text(&format!("{a}*x + {b}*y <= {c}*N")).ok()?;
+    }
+    let templates = TemplateSet::new(
+        2,
+        vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+    )
+    .ok()?;
+    TilingBuilder::new(sys, templates, vec![widths.0, widths.1])
+        .build()
+        .ok()
+}
+
+/// Weighted path-sum kernel: exercises both validity flags and values.
+fn kernel(cell: CellRef<'_>, values: &mut [i64]) {
+    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
+    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    values[cell.loc] = a
+        .wrapping_mul(3)
+        .wrapping_add(b)
+        .wrapping_add(cell.x[0] - 2 * cell.x[1]);
+}
+
+/// Kernel over arbitrary template counts: value = mix of valid deps.
+fn generic_kernel(cell: CellRef<'_>, values: &mut [i64]) {
+    let mut acc: i64 = cell.x.iter().enumerate().map(|(k, &v)| (k as i64 + 2) * v).sum();
+    for (j, &ok) in cell.valid.iter().enumerate() {
+        if ok {
+            acc = acc
+                .wrapping_mul(31)
+                .wrapping_add(values[cell.loc_r(j)])
+                .wrapping_add(j as i64);
+        } else {
+            acc = acc.wrapping_add(7);
+        }
+    }
+    values[cell.loc] = acc;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random multi-component template sets (uniform sign per dimension),
+    /// random widths: the tiled runtime still matches the reference.
+    /// Multi-component templates make single templates cross several tile
+    /// boundaries (Section IV-F's hard case).
+    #[test]
+    fn random_templates_match_reference(
+        n in 4i64..16,
+        w1 in 1i64..5,
+        w2 in 1i64..5,
+        comps in proptest::collection::vec((0i64..3, 0i64..3), 1..4),
+        threads in 1usize..4,
+        sign in proptest::bool::ANY,
+    ) {
+        // Build nonzero templates; flip all signs together to keep each
+        // dimension uniformly signed.
+        let templates: Vec<Template> = comps
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a != 0 || b != 0)
+            .map(|(i, &(a, b))| {
+                let (a, b) = if sign { (a, b) } else { (-a, -b) };
+                Template::new(format!("t{i}"), &[a, b])
+            })
+            .collect();
+        if templates.is_empty() {
+            return Ok(());
+        }
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        sys.add_text("x + 2*y <= 2*N").unwrap(); // cut a corner for shape
+        let set = TemplateSet::new(2, templates).unwrap();
+        let tiling = TilingBuilder::new(sys, set, vec![w1, w2]).build().unwrap();
+        let reference = run_reference::<i64, _>(&tiling, &[n], &generic_kernel);
+        let coords: Vec<[i64; 2]> = vec![[0, 0], [n, 0], [0, n / 2], [n / 2, n / 4]];
+        let refs: Vec<&[i64]> = coords.iter().map(|c| c.as_slice()).collect();
+        let probe = Probe::many(&refs);
+        let res = run_shared::<i64, _>(
+            &tiling, &[n], &generic_kernel, &probe, threads,
+            TilePriority::column_major(2),
+        );
+        for (i, c) in coords.iter().enumerate() {
+            prop_assert_eq!(res.probes[i], reference.get(c), "at {:?}", c);
+        }
+        prop_assert_eq!(res.stats.cells_computed as u128, tiling.total_cells(&[n]));
+    }
+
+    #[test]
+    fn tiled_equals_reference(
+        n in 3i64..20,
+        w1 in 1i64..8,
+        w2 in 1i64..8,
+        a in 0i64..3,
+        b in 0i64..3,
+        extra in 0i64..3,
+        threads in 1usize..5,
+    ) {
+        let cuts = if a + b > 0 { vec![(a, b, a + b + extra)] } else { vec![] };
+        let Some(tiling) = build_tiling(&cuts, (w1, w2)) else {
+            return Ok(());
+        };
+        let reference = run_reference::<i64, _>(&tiling, &[n], &kernel);
+        // Probe a scatter of cells, including the origin and corners.
+        let coords: Vec<[i64; 2]> = vec![
+            [0, 0], [n, 0], [0, n], [n / 2, n / 3], [1, 1], [n - 1, 1],
+        ];
+        let refs: Vec<&[i64]> = coords.iter().map(|c| c.as_slice()).collect();
+        let probe = Probe::many(&refs);
+        let res = run_shared::<i64, _>(
+            &tiling, &[n], &kernel, &probe, threads, TilePriority::column_major(2),
+        );
+        for (i, c) in coords.iter().enumerate() {
+            prop_assert_eq!(res.probes[i], reference.get(c), "at {:?}", c);
+        }
+    }
+
+    #[test]
+    fn hybrid_equals_reference(
+        n in 5i64..18,
+        w in 1i64..6,
+        ranks in 1usize..5,
+    ) {
+        let Some(tiling) = build_tiling(&[(1, 1, 2)], (w, w)) else {
+            return Ok(());
+        };
+        let reference = run_reference::<i64, _>(&tiling, &[n], &kernel);
+        let probe = Probe::at(&[0, 0]);
+        let config = HybridConfig::new(ranks, 2, vec![0]);
+        let res = run_hybrid::<i64, _>(&tiling, &[n], &kernel, &probe, &config);
+        prop_assert_eq!(res.probes[0], reference.get(&[0, 0]));
+        // Conservation: every cell computed exactly once across ranks.
+        prop_assert_eq!(res.cells_computed() as u128, tiling.total_cells(&[n]));
+    }
+
+    #[test]
+    fn scheduler_work_conservation(
+        n in 3i64..16,
+        w in 1i64..7,
+        threads in 1usize..4,
+    ) {
+        let Some(tiling) = build_tiling(&[], (w, w)) else { return Ok(()) };
+        let res = run_shared::<i64, _>(
+            &tiling, &[n], &kernel, &Probe::default(), threads,
+            TilePriority::LevelSet,
+        );
+        prop_assert_eq!(res.stats.cells_computed as u128, tiling.total_cells(&[n]));
+        // Edges: every tile dependency crossing produces exactly one edge.
+        let mut point = tiling.make_point(&[n]);
+        let mut expect_edges = 0u64;
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        for t in &tiles {
+            expect_edges += tiling.dep_total(t, &mut point) as u64;
+        }
+        prop_assert_eq!(res.stats.edges_local, expect_edges);
+    }
+}

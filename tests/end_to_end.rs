@@ -1,0 +1,177 @@
+//! End-to-end integration: spec text → generated program → serial,
+//! shared-memory and hybrid executions all agree with independent dense
+//! solvers, for every workload in `dpgen-problems`.
+
+use dpgen::core::driver::HybridConfig;
+use dpgen::core::loadbalance::BalanceMethod;
+use dpgen::core::Program;
+use dpgen::mpisim::CommConfig;
+use dpgen::problems::{random_sequence, Bandit2, Bandit3, EditDistance, Lcs, Msa};
+use dpgen::runtime::{Probe, TilePriority};
+
+#[test]
+fn bandit2_all_execution_modes_agree() {
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let n = 12i64;
+    let want = problem.solve_dense(n);
+    let program = Bandit2::program(4).unwrap();
+    let probe = Probe::at(&[0, 0, 0, 0]);
+
+    // Serial reference (dense, untiled).
+    let serial = program.run_serial::<f64, _>(&[n], &kernel);
+    assert!((serial.get(&[0, 0, 0, 0]).unwrap() - want).abs() < 1e-9);
+
+    // Shared memory at several thread counts.
+    for threads in [1usize, 3, 8] {
+        let res = program.run_shared::<f64, _>(&[n], &kernel, &probe, threads);
+        assert!((res.probes[0].unwrap() - want).abs() < 1e-9, "threads {threads}");
+    }
+
+    // Hybrid at several rank × thread shapes.
+    for (ranks, threads) in [(2usize, 2usize), (4, 1), (3, 3)] {
+        let res = program.run_hybrid::<f64, _>(&[n], &kernel, &probe, ranks, threads);
+        assert!(
+            (res.probes[0].unwrap() - want).abs() < 1e-9,
+            "{ranks}x{threads}"
+        );
+    }
+}
+
+#[test]
+fn bandit2_paper_value_grows_with_horizon() {
+    // V(0)/N increases with N: longer horizons let adaptivity learn more.
+    let problem = Bandit2::default();
+    let program = Bandit2::program(6).unwrap();
+    let kernel = problem.kernel();
+    let probe = Probe::at(&[0, 0, 0, 0]);
+    let mut last = 0.5;
+    for n in [2i64, 8, 20, 40] {
+        let res = program.run_shared::<f64, _>(&[n], &kernel, &probe, 4);
+        let per_trial = res.probes[0].unwrap() / n as f64;
+        assert!(per_trial > last - 1e-9, "N={n}: {per_trial} vs {last}");
+        last = per_trial;
+    }
+    assert!(last > 0.58, "adaptivity should clearly beat 0.5, got {last}");
+}
+
+#[test]
+fn bandit3_hybrid_agrees_with_dense() {
+    let problem = Bandit3::default();
+    let n = 6i64;
+    let want = problem.solve_dense(n);
+    let program = Bandit3::program(2).unwrap();
+    let res = program.run_hybrid::<f64, _>(
+        &[n],
+        &problem.kernel(),
+        &Probe::at(&[0; 6]),
+        2,
+        2,
+    );
+    assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
+}
+
+#[test]
+fn alignment_problems_agree_under_every_balance_method() {
+    let a = random_sequence(30, 5);
+    let b = random_sequence(26, 6);
+    let problem = EditDistance::new(&a, &b);
+    let want = problem.solve_dense();
+    let program = EditDistance::program(5).unwrap();
+    let params = problem.params();
+    let probe = Probe::at(&[params[0], params[1]]);
+    for balance in [
+        BalanceMethod::Slabs { lb_dims: vec![0] },
+        BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        BalanceMethod::Hyperplane,
+    ] {
+        let config = HybridConfig {
+            ranks: 3,
+            threads_per_rank: 2,
+            priority: None,
+            comm: CommConfig::default(),
+            balance: balance.clone(),
+        };
+        let res = program.run_hybrid_with::<i64, _>(&params, &problem, &probe, &config);
+        assert_eq!(res.probes[0].unwrap(), want, "{balance:?}");
+    }
+}
+
+#[test]
+fn priorities_do_not_change_results() {
+    let a = random_sequence(24, 7);
+    let b = random_sequence(24, 8);
+    let problem = Lcs::new(&[&a, &b]);
+    let want = problem.solve_dense();
+    let program = Lcs::program(2, 4).unwrap();
+    for priority in [
+        TilePriority::column_major(2),
+        TilePriority::LevelSet,
+        TilePriority::Fifo,
+    ] {
+        let res = dpgen::runtime::run_shared::<i64, _>(
+            program.tiling(),
+            &problem.params(),
+            &problem,
+            &Probe::at(&problem.goal()),
+            4,
+            priority.clone(),
+        );
+        assert_eq!(res.probes[0].unwrap(), want, "{priority:?}");
+    }
+}
+
+#[test]
+fn msa3_hybrid_with_tiny_buffers() {
+    let a = random_sequence(10, 9);
+    let b = random_sequence(9, 10);
+    let c = random_sequence(8, 11);
+    let problem = Msa::new(&[&a, &b, &c]);
+    let want = problem.solve_dense();
+    let program = Msa::program(3, 3).unwrap();
+    let config = HybridConfig {
+        ranks: 4,
+        threads_per_rank: 2,
+        priority: None,
+        comm: CommConfig {
+            send_buffers: 1,
+            recv_buffers: 1,
+        },
+        balance: BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+    };
+    let res = program.run_hybrid_with::<i64, _>(
+        &problem.params(),
+        &problem,
+        &Probe::at(&problem.goal()),
+        &config,
+    );
+    assert_eq!(res.probes[0].unwrap(), want);
+}
+
+#[test]
+fn spec_text_round_trip_runs() {
+    // Full path: text file -> parse -> generate -> run.
+    let program = Program::parse(
+        "name triangle\n\
+         vars x y\n\
+         params N\n\
+         constraint x >= 0\n\
+         constraint y >= 0\n\
+         constraint x + y <= N\n\
+         template r1 1 0\n\
+         template r2 0 1\n\
+         order x y\n\
+         loadbalance x\n\
+         widths 4 4\n",
+    )
+    .unwrap();
+    let kernel = |cell: dpgen::tiling::tiling::CellRef<'_>, values: &mut [u64]| {
+        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
+        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        values[cell.loc] = a + b;
+    };
+    let res = program.run_shared::<u64, _>(&[10], &kernel, &Probe::at(&[0, 0]), 2);
+    // f(0,0) counts monotone lattice paths of length N+1 from the
+    // hypotenuse: 2^(N+1).
+    assert_eq!(res.probes[0], Some(2u64.pow(11)));
+}

@@ -1,0 +1,157 @@
+//! Failure handling and edge cases across the stack.
+
+use dpgen::core::{Program, ProgramError};
+use dpgen::problems::{random_sequence, EditDistance};
+use dpgen::runtime::{Probe, TilePriority};
+use dpgen::tiling::tiling::CellRef;
+
+fn count_kernel(cell: CellRef<'_>, values: &mut [u64]) {
+    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
+    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    values[cell.loc] = a + b;
+}
+
+const TRIANGLE: &str = "name t\nvars x y\nparams N\n\
+    constraint x >= 0\nconstraint y >= 0\nconstraint x + y <= N\n\
+    template r1 1 0\ntemplate r2 0 1\nwidths 4 4\n";
+
+#[test]
+fn malformed_specs_are_rejected_not_panicking() {
+    for bad in [
+        "",                                          // empty
+        "vars x\n",                                  // no constraints
+        "vars x\nconstraint 0 <= x <= 5\n",          // no widths
+        "vars x\nconstraint 0 <= x <= 5\nwidths 0\n", // zero width
+        "vars x\nconstraint 0 <= x <= 5\nwidths 2\ntemplate r 0\n", // zero template
+        "vars x y\nconstraint 0 <= x <= 5\nconstraint 0 <= y <= 5\nwidths 2 2\n\
+         template a 1 0\ntemplate b -1 0\n",          // mixed signs
+        "vars x\nconstraint x >= 0\nwidths 2\n",      // unbounded
+        "vars x\nconstraint 0 <= x <= zz\nwidths 2\n", // unknown name
+    ] {
+        assert!(Program::parse(bad).is_err(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let err = Program::parse("vars x\nbogus\n").unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+    let err = Program::parse("vars x\nconstraint x >= 0\nwidths 2\n").unwrap_err();
+    match &err {
+        ProgramError::Tiling(e) => assert!(e.to_string().contains("unbounded"), "{e}"),
+        other => panic!("expected tiling error, got {other}"),
+    }
+}
+
+#[test]
+fn zero_size_problem_runs() {
+    // N = 0: a single cell at the origin.
+    let program = Program::parse(TRIANGLE).unwrap();
+    let res = program.run_shared::<u64, _>(&[0], &count_kernel, &Probe::at(&[0, 0]), 4);
+    assert_eq!(res.probes[0], Some(2)); // both deps invalid -> 1 + 1
+    assert_eq!(res.stats.cells_computed, 1);
+}
+
+#[test]
+fn probes_outside_space_are_none_not_panics() {
+    let program = Program::parse(TRIANGLE).unwrap();
+    let probe = Probe::many(&[&[0, 0], &[100, 100], &[-3, 0], &[3, 3]]);
+    let res = program.run_shared::<u64, _>(&[4], &count_kernel, &probe, 2);
+    assert!(res.probes[0].is_some());
+    assert_eq!(res.probes[1], None);
+    assert_eq!(res.probes[2], None);
+    assert_eq!(res.probes[3], None); // 3 + 3 > 4
+}
+
+#[test]
+fn giant_tile_is_a_single_tile_run() {
+    let program = Program::parse(&TRIANGLE.replace("widths 4 4", "widths 1000 1000")).unwrap();
+    let res = program.run_shared::<u64, _>(&[20], &count_kernel, &Probe::at(&[0, 0]), 4);
+    assert_eq!(res.stats.tiles_executed, 1);
+    assert_eq!(res.probes[0], Some(1 << 21));
+    assert_eq!(res.stats.edges_local, 0);
+}
+
+#[test]
+fn width_one_tiles_are_cells() {
+    let program = Program::parse(&TRIANGLE.replace("widths 4 4", "widths 1 1")).unwrap();
+    let n = 6i64;
+    let res = program.run_shared::<u64, _>(&[n], &count_kernel, &Probe::at(&[0, 0]), 3);
+    assert_eq!(res.stats.tiles_executed, ((n + 1) * (n + 2) / 2) as u64);
+    assert_eq!(res.probes[0], Some(1 << (n + 1)));
+}
+
+#[test]
+fn oversubscribed_threads_work() {
+    // Far more threads than tiles.
+    let program = Program::parse(TRIANGLE).unwrap();
+    let res = program.run_shared::<u64, _>(&[6], &count_kernel, &Probe::at(&[0, 0]), 32);
+    assert_eq!(res.probes[0], Some(1 << 7));
+}
+
+#[test]
+fn zero_threads_clamps_to_one() {
+    let program = Program::parse(TRIANGLE).unwrap();
+    let res = program.run_shared::<u64, _>(&[5], &count_kernel, &Probe::at(&[0, 0]), 0);
+    assert_eq!(res.probes[0], Some(1 << 6));
+    assert_eq!(res.stats.threads, 1);
+}
+
+#[test]
+fn hybrid_more_ranks_than_tiles() {
+    let a = random_sequence(6, 1);
+    let b = random_sequence(5, 2);
+    let problem = EditDistance::new(&a, &b);
+    let program = EditDistance::program(4).unwrap(); // few tiles
+    let params = problem.params();
+    let res = program.run_hybrid::<i64, _>(
+        &params,
+        &problem,
+        &Probe::at(&[params[0], params[1]]),
+        6,
+        2,
+    );
+    assert_eq!(res.probes[0].unwrap(), problem.solve_dense());
+}
+
+#[test]
+fn degenerate_one_dimensional_problem() {
+    let program = Program::parse(
+        "vars x\nparams N\nconstraint 0 <= x <= N\ntemplate r 1\nwidths 5\n",
+    )
+    .unwrap();
+    let kernel = |cell: CellRef<'_>, values: &mut [u64]| {
+        values[cell.loc] = if cell.valid[0] { values[cell.loc_r(0)] + 1 } else { 1 };
+    };
+    let res = dpgen::runtime::run_shared::<u64, _>(
+        program.tiling(),
+        &[17],
+        &kernel,
+        &Probe::at(&[0]),
+        2,
+        TilePriority::Fifo,
+    );
+    assert_eq!(res.probes[0], Some(18));
+}
+
+#[test]
+fn empty_iteration_space_for_parameters() {
+    // Context N >= 2 excluded by N = 1: no tiles, run completes trivially.
+    let program = Program::parse(
+        "vars x\nparams N\nconstraint 2 <= x <= N\ntemplate r 1\nwidths 3\n",
+    )
+    .unwrap();
+    let kernel = |cell: CellRef<'_>, values: &mut [u64]| {
+        values[cell.loc] = cell.x[0] as u64;
+    };
+    let res = dpgen::runtime::run_shared::<u64, _>(
+        program.tiling(),
+        &[1],
+        &kernel,
+        &Probe::at(&[2]),
+        2,
+        TilePriority::Fifo,
+    );
+    assert_eq!(res.stats.tiles_executed, 0);
+    assert_eq!(res.probes[0], None);
+}
