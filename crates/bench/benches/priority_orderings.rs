@@ -9,8 +9,16 @@ use dpgen_runtime::{run_shared, Probe, TilePriority};
 use dpgen_tiling::tiling::CellRef;
 
 fn kernel(cell: CellRef<'_>, values: &mut [u64]) {
-    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    let a = if cell.valid[0] {
+        values[cell.loc_r(0)]
+    } else {
+        1
+    };
+    let b = if cell.valid[1] {
+        values[cell.loc_r(1)]
+    } else {
+        1
+    };
     values[cell.loc] = a.wrapping_add(b);
 }
 

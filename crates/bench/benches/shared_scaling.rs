@@ -24,12 +24,7 @@ fn bench_shared(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    program.run_shared::<f64, _>(
-                        &[n],
-                        &kernel,
-                        &Probe::at(&[0, 0, 0, 0]),
-                        threads,
-                    )
+                    program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), threads)
                 })
             },
         );
@@ -46,6 +41,25 @@ fn bench_shared(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Contention report for the sharded work-stealing scheduler: one real
+    // run per thread count, printing the RunStats counters the scheduler
+    // exports (see `figures e4b` for the full table).
+    println!("fig6_shared_scaling/contention (sharded scheduler)");
+    for threads in [1usize, 2, 4] {
+        let res = program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), threads);
+        let s = &res.stats;
+        println!(
+            "  threads={threads}: tiles={} steals={} steal_fails={} \
+             lock_wait={:.1}us idle={:.3} imbalance={:.2}",
+            s.tiles_executed,
+            s.steal_count,
+            s.steal_fail_count,
+            s.lock_wait_time.as_secs_f64() * 1e6,
+            s.idle_fraction(),
+            s.worker_imbalance(),
+        );
+    }
 }
 
 criterion_group!(benches, bench_shared);

@@ -17,10 +17,12 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let runners: Vec<(&str, fn(bool) -> Table)> = vec![
+    type Runner = (&'static str, fn(bool) -> Table);
+    let runners: Vec<Runner> = vec![
         ("e1", experiments::e1_bandit_correctness),
         ("e2", experiments::e2_memory_orderings),
         ("e4", experiments::e4_shared_scaling),
+        ("e4b", experiments::e4b_contention),
         ("e5", experiments::e5_weak_scaling),
         ("e6", experiments::e6_tile_size),
         ("e7", experiments::e7_buffer_sweep),
@@ -47,7 +49,7 @@ fn main() {
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("unknown experiment id(s) {wanted:?}; available: e1 e2 e4 e5 e6 e7 e8 e9 e10 e11 e12");
+        eprintln!("unknown experiment id(s) {wanted:?}; available: e1 e2 e4 e4b e5 e6 e7 e8 e9 e10 e11 e12");
         std::process::exit(2);
     }
     println!("{ran} experiment(s) written to {}", out_dir.display());

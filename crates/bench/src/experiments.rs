@@ -6,7 +6,7 @@
 //! the `figures` binary runs with `false`.
 
 use crate::calibrate;
-use crate::report::{fmt_f, Table};
+use crate::report::{fmt_dur_us, fmt_f, Table};
 use dpgen_core::driver::HybridConfig;
 use dpgen_core::loadbalance::{BalanceMethod, LoadBalance};
 use dpgen_core::traceback::{run_logged, Traceback};
@@ -33,8 +33,16 @@ fn grid_program(templates_negative: bool, width: i64) -> Program {
 }
 
 fn count_kernel(cell: CellRef<'_>, values: &mut [u64]) {
-    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    let a = if cell.valid[0] {
+        values[cell.loc_r(0)]
+    } else {
+        1
+    };
+    let b = if cell.valid[1] {
+        values[cell.loc_r(1)]
+    } else {
+        1
+    };
     values[cell.loc] = a.wrapping_add(b);
 }
 
@@ -51,12 +59,8 @@ pub fn e1_bandit_correctness(quick: bool) -> Table {
     let ns: &[i64] = if quick { &[4, 8] } else { &[6, 10, 14, 18] };
     for &n in ns {
         let want = problem.solve_dense(n);
-        let res = program.run_shared::<f64, _>(
-            &[n],
-            &problem.kernel(),
-            &Probe::at(&[0, 0, 0, 0]),
-            2,
-        );
+        let res =
+            program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
         let got = res.probes[0].unwrap();
         table.row(vec![
             n.to_string(),
@@ -195,7 +199,11 @@ pub fn e4_shared_scaling(quick: bool) -> Table {
         "Fig 6: shared-memory scaling (calibrated simulation)",
         &["problem", "threads", "speedup", "efficiency", "bound"],
     );
-    let threads: &[usize] = if quick { &[1, 4, 24] } else { &[1, 2, 4, 8, 12, 16, 20, 24] };
+    let threads: &[usize] = if quick {
+        &[1, 4, 24]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20, 24]
+    };
     for case in shared_scaling_cases(quick) {
         for &t in threads {
             let config = SimConfig {
@@ -217,6 +225,68 @@ pub fn e4_shared_scaling(quick: bool) -> Table {
     }
     table.note("paper: bandit2 speedup 22.35 at 24 cores (93% efficiency)");
     table.note("compute costs calibrated from measured serial runs; see DESIGN.md");
+    table
+}
+
+/// E4b — contention observability for the sharded work-stealing scheduler:
+/// *real* multi-threaded runs (the e4 series is a calibrated simulation)
+/// reporting the steal, failed-steal, lock-wait and per-worker-balance
+/// counters the scheduler exports through [`dpgen_runtime::RunStats`].
+pub fn e4b_contention(quick: bool) -> Table {
+    let mut table = Table::new(
+        "e4b",
+        "sharded scheduler contention: real runs (steals, lock wait, balance)",
+        &[
+            "problem",
+            "threads",
+            "wall (ms)",
+            "tiles",
+            "steals",
+            "steal fails",
+            "lock wait (us)",
+            "idle frac",
+            "imbalance",
+        ],
+    );
+    let threads: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut stats_rows: Vec<(String, usize, dpgen_runtime::RunStats)> = Vec::new();
+    {
+        let n: i64 = if quick { 16 } else { 40 };
+        let problem = Bandit2::default();
+        let program = Bandit2::program(if quick { 4 } else { 8 }).unwrap();
+        for &t in threads {
+            let res =
+                program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), t);
+            stats_rows.push(("bandit2".into(), t, res.stats));
+        }
+    }
+    {
+        let len = if quick { 120 } else { 800 };
+        let a = random_sequence(len, 3);
+        let b = random_sequence(len, 4);
+        let problem = Lcs::new(&[&a, &b]);
+        let program = Lcs::program(2, if quick { 8 } else { 16 }).unwrap();
+        for &t in threads {
+            let res =
+                program.run_shared::<i64, _>(&problem.params(), &problem, &Probe::default(), t);
+            stats_rows.push(("lcs2".into(), t, res.stats));
+        }
+    }
+    for (name, t, stats) in stats_rows {
+        table.row(vec![
+            name,
+            t.to_string(),
+            fmt_f(stats.total_time.as_secs_f64() * 1e3, 2),
+            stats.tiles_executed.to_string(),
+            stats.steal_count.to_string(),
+            stats.steal_fail_count.to_string(),
+            fmt_dur_us(stats.lock_wait_time),
+            fmt_f(stats.idle_fraction(), 3),
+            fmt_f(stats.worker_imbalance(), 2),
+        ]);
+    }
+    table.note("steals move ready tiles between per-worker deques; lock wait is time blocked on contended shard/queue locks");
+    table.note("imbalance = max/mean tiles per worker (1.00 = perfectly even)");
     table
 }
 
@@ -247,7 +317,9 @@ pub fn e5_weak_scaling(quick: bool) -> Table {
             tiling,
             &[n],
             ranks,
-            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            &BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         );
         let owner = balance.into_owner();
         let config = SimConfig {
@@ -305,7 +377,9 @@ pub fn e6_tile_size(quick: bool) -> Table {
                 tiling,
                 &[n],
                 ranks,
-                &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+                &BalanceMethod::Slabs {
+                    lb_dims: vec![0, 1],
+                },
             );
             let owner = balance.into_owner();
             let config = SimConfig {
@@ -336,8 +410,15 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
     let mut table = Table::new(
         "e7",
         "Sec VI-C: send/recv buffer count, real mpisim runtime + simulated cluster, bandit2",
-        &["buffers", "wall (ms)", "send stalls", "stall time (us)", "remote edges",
-          "sim makespan (ms)", "sim stall (ms)"],
+        &[
+            "buffers",
+            "wall (ms)",
+            "send stalls",
+            "stall time (us)",
+            "remote edges",
+            "sim makespan (ms)",
+            "sim stall (ms)",
+        ],
     );
     let n: i64 = if quick { 16 } else { 32 };
     let problem = Bandit2::default();
@@ -350,7 +431,9 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
             tiling,
             &[n],
             4,
-            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            &BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         );
         let owner = balance.into_owner();
         let config = SimConfig {
@@ -374,7 +457,9 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
                 send_buffers: buffers,
                 recv_buffers: buffers,
             },
-            balance: BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            balance: BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         };
         let res = program.run_hybrid_with::<f64, _>(
             &[n],
@@ -409,7 +494,13 @@ pub fn e8_lb_dims(quick: bool) -> Table {
     let mut table = Table::new(
         "e8",
         "Fig 2 / Sec IV-J: load-balance quality vs balancing dimensions",
-        &["lb dims", "ranks", "imbalance", "idle frac", "makespan (ms)"],
+        &[
+            "lb dims",
+            "ranks",
+            "imbalance",
+            "idle frac",
+            "makespan (ms)",
+        ],
     );
     let n: i64 = if quick { 24 } else { 48 };
     let ranks = 8usize;
@@ -422,7 +513,9 @@ pub fn e8_lb_dims(quick: bool) -> Table {
             tiling,
             &[n],
             ranks,
-            &BalanceMethod::Slabs { lb_dims: lb_dims.clone() },
+            &BalanceMethod::Slabs {
+                lb_dims: lb_dims.clone(),
+            },
         );
         let imbalance = balance.imbalance();
         let owner = balance.into_owner();
@@ -504,7 +597,14 @@ pub fn e10_hyperplane(quick: bool) -> Table {
     let mut table = Table::new(
         "e10",
         "Fig 8: slab vs hyperplane load balancing (simulated idle time)",
-        &["space", "method", "ranks", "imbalance", "idle frac", "makespan (ms)"],
+        &[
+            "space",
+            "method",
+            "ranks",
+            "imbalance",
+            "idle frac",
+            "makespan (ms)",
+        ],
     );
     let wedge = Program::parse(
         "name wedge\nvars x y\nparams N\n\
@@ -522,7 +622,12 @@ pub fn e10_hyperplane(quick: bool) -> Table {
     ];
     for (name, tiling, n, lb_dims) in cases {
         for (method_name, method) in [
-            ("slabs", BalanceMethod::Slabs { lb_dims: lb_dims.clone() }),
+            (
+                "slabs",
+                BalanceMethod::Slabs {
+                    lb_dims: lb_dims.clone(),
+                },
+            ),
             ("hyperplane", BalanceMethod::Hyperplane),
         ] {
             for ranks in [4usize, 8] {
@@ -558,13 +663,19 @@ pub fn e11_packing_ratio(_quick: bool) -> Table {
     let mut table = Table::new(
         "e11",
         "Sec IV-I: packed edge cells vs tile cells, 2-arm bandit",
-        &["width", "tile cells", "edge cells (1 edge)", "edges/tile", "ratio"],
+        &[
+            "width",
+            "tile cells",
+            "edge cells (1 edge)",
+            "edges/tile",
+            "ratio",
+        ],
     );
     for w in [4i64, 8, 12] {
         let program = Bandit2::program(w).unwrap();
         let tiling = program.tiling();
         let n = 6 * w; // enough for interior tiles
-        // Interior tile (1,0,0,0) of the simplex: full w^4 cells.
+                       // Interior tile (1,0,0,0) of the simplex: full w^4 cells.
         let tile = dpgen_tiling::Coord::from_slice(&[1, 0, 0, 0]);
         let mut point = tiling.make_point(&[n]);
         let tile_cells = tiling.tile_cell_count(&tile, &mut point);
@@ -587,7 +698,15 @@ pub fn e12_traceback(quick: bool) -> Table {
     let mut table = Table::new(
         "e12",
         "Sec VII-A: traceback support cost (edge log + recomputation)",
-        &["len", "full cells", "logged cells", "log %", "path len", "tiles recomputed", "total tiles"],
+        &[
+            "len",
+            "full cells",
+            "logged cells",
+            "log %",
+            "path len",
+            "tiles recomputed",
+            "total tiles",
+        ],
     );
     let len: usize = if quick { 10 } else { 24 };
     let seqs: Vec<Vec<u8>> = (0..3).map(|k| random_sequence(len, 200 + k)).collect();
@@ -610,10 +729,10 @@ pub fn e12_traceback(quick: bool) -> Table {
                 let mut cost = 0i64;
                 for k in 0..3 {
                     for l in k + 1..3 {
-                        let ck = (delta[k] == -1)
-                            .then(|| problem2.seqs[k][(cell.x[k] - 1) as usize]);
-                        let cl = (delta[l] == -1)
-                            .then(|| problem2.seqs[l][(cell.x[l] - 1) as usize]);
+                        let ck =
+                            (delta[k] == -1).then(|| problem2.seqs[k][(cell.x[k] - 1) as usize]);
+                        let cl =
+                            (delta[l] == -1).then(|| problem2.seqs[l][(cell.x[l] - 1) as usize]);
                         cost += match (ck, cl) {
                             (Some(a), Some(b)) if a == b => 0,
                             (Some(_), Some(_)) => problem2.mismatch,
@@ -640,7 +759,9 @@ pub fn e12_traceback(quick: bool) -> Table {
         tb.tiles_recomputed.to_string(),
         total_tiles.to_string(),
     ]);
-    table.note("edge log is O(n^{d-1}) vs O(n^d) full state; traceback recomputes only visited tiles");
+    table.note(
+        "edge log is O(n^{d-1}) vs O(n^d) full state; traceback recomputes only visited tiles",
+    );
     table
 }
 
@@ -650,6 +771,7 @@ pub fn all(quick: bool) -> Vec<Table> {
         e1_bandit_correctness(quick),
         e2_memory_orderings(quick),
         e4_shared_scaling(quick),
+        e4b_contention(quick),
         e5_weak_scaling(quick),
         e6_tile_size(quick),
         e7_buffer_sweep(quick),
@@ -695,6 +817,25 @@ mod tests {
             let s24: f64 = chunk[2][2].parse().unwrap();
             assert!((s1 - 1.0).abs() < 0.05, "{chunk:?}");
             assert!(s24 > 2.0, "24 threads should speed up: {chunk:?}");
+        }
+    }
+
+    #[test]
+    fn e4b_contention_counters_populated() {
+        let t = e4b_contention(true);
+        assert_eq!(t.rows.len(), 6); // 2 problems x 3 thread counts
+        for row in &t.rows {
+            let threads: usize = row[1].parse().unwrap();
+            let tiles: u64 = row[3].parse().unwrap();
+            let steals: u64 = row[4].parse().unwrap();
+            assert!(tiles > 0, "no tiles executed: {row:?}");
+            if threads == 1 {
+                assert_eq!(steals, 0, "single worker cannot steal: {row:?}");
+            } else {
+                assert!(steals <= tiles, "steals exceed tiles: {row:?}");
+            }
+            let imbalance: f64 = row[8].parse().unwrap();
+            assert!(imbalance >= 1.0 - 1e-9, "imbalance below 1: {row:?}");
         }
     }
 

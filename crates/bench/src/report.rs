@@ -98,6 +98,11 @@ pub fn fmt_f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
 
+/// Format a duration as microseconds with one decimal.
+pub fn fmt_dur_us(d: std::time::Duration) -> String {
+    fmt_f(d.as_secs_f64() * 1e6, 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

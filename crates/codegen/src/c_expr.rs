@@ -90,11 +90,20 @@ mod tests {
     #[test]
     fn lin_expr_rendering() {
         let s = space();
-        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![2, -1, 1], 3), &s), "2*x - y + N + 3");
-        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![-1, 0, 0], 0), &s), "-x");
+        assert_eq!(
+            c_lin_expr(&LinExpr::from_parts(vec![2, -1, 1], 3), &s),
+            "2*x - y + N + 3"
+        );
+        assert_eq!(
+            c_lin_expr(&LinExpr::from_parts(vec![-1, 0, 0], 0), &s),
+            "-x"
+        );
         assert_eq!(c_lin_expr(&LinExpr::constant(3, -4), &s), "-4");
         assert_eq!(c_lin_expr(&LinExpr::zero(3), &s), "0");
-        assert_eq!(c_lin_expr(&LinExpr::from_parts(vec![1, 0, 0], -2), &s), "x - 2");
+        assert_eq!(
+            c_lin_expr(&LinExpr::from_parts(vec![1, 0, 0], -2), &s),
+            "x - 2"
+        );
     }
 
     #[test]
@@ -129,10 +138,7 @@ mod tests {
             expr: LinExpr::from_parts(vec![0, 0, 1], 0),
             divisor: 2,
         };
-        assert_eq!(c_bound_set(&[a.clone()], &s, true), "0");
-        assert_eq!(
-            c_bound_set(&[a, b], &s, true),
-            "DP_MAX(0, CEIL_DIV(N, 2))"
-        );
+        assert_eq!(c_bound_set(std::slice::from_ref(&a), &s, true), "0");
+        assert_eq!(c_bound_set(&[a, b], &s, true), "DP_MAX(0, CEIL_DIV(N, 2))");
     }
 }

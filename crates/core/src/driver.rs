@@ -198,12 +198,22 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn path_kernel(cell: CellRef<'_>, values: &mut [f64]) {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1.0 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1.0 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1.0
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1.0
+        };
         values[cell.loc] = a + b;
     }
 
@@ -222,22 +232,10 @@ mod tests {
         for ranks in [1usize, 2, 4] {
             for threads in [1usize, 2] {
                 let config = HybridConfig::new(ranks, threads, vec![0]);
-                let res = run_hybrid::<f64, _>(
-                    &tiling,
-                    &[n],
-                    &path_kernel,
-                    &Probe::at(&[0, 0]),
-                    &config,
-                );
-                assert_eq!(
-                    res.probes[0],
-                    Some(want),
-                    "ranks={ranks} threads={threads}"
-                );
-                assert_eq!(
-                    res.cells_computed(),
-                    ((n + 1) * (n + 2) / 2) as u64
-                );
+                let res =
+                    run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+                assert_eq!(res.probes[0], Some(want), "ranks={ranks} threads={threads}");
+                assert_eq!(res.cells_computed(), ((n + 1) * (n + 2) / 2) as u64);
                 if ranks > 1 {
                     assert!(res.edges_remote() > 0, "multi-rank runs must communicate");
                     assert!(res.bytes_sent() > 0);
@@ -260,8 +258,7 @@ mod tests {
             comm: CommConfig::default(),
             balance: BalanceMethod::Hyperplane,
         };
-        let res =
-            run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
         assert_eq!(res.probes[0], Some(want));
     }
 
@@ -278,10 +275,11 @@ mod tests {
                 send_buffers: 1,
                 recv_buffers: 1,
             },
-            balance: BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            balance: BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         };
-        let res =
-            run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
         assert_eq!(res.probes[0], Some(want));
     }
 

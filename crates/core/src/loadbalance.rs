@@ -35,9 +35,7 @@ pub fn work_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyError> {
         )));
     }
     let d = tiling.dims();
-    QuasiPolynomial::interpolate(d, 1, 0, 2, |n| {
-        tiling.total_cells(&[n as i64]) as i128
-    })
+    QuasiPolynomial::interpolate(d, 1, 0, 2, |n| tiling.total_cells(&[n as i64]) as i128)
 }
 
 /// The paper's *second* counting polynomial family: work restricted to a
@@ -80,11 +78,9 @@ pub fn tile_count_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyErr
         ));
     }
     let d = tiling.dims();
-    let period = tiling
-        .widths()
-        .iter()
-        .fold(1i64, |acc, &w| dpgen_polyhedra::num::lcm(acc as i128, w as i128) as i64)
-        as usize;
+    let period = tiling.widths().iter().fold(1i64, |acc, &w| {
+        dpgen_polyhedra::num::lcm(acc as i128, w as i128) as i64
+    }) as usize;
     QuasiPolynomial::interpolate(d, period, 0, 1, |n| {
         let mut point = tiling.make_point(&[n as i64]);
         let mut count = 0i128;
@@ -174,7 +170,8 @@ impl LoadBalance {
         // balance degrades, which is exactly the Figure 2 observation. The
         // hyperplane method cuts between individual tiles of the level
         // order.
-        let block_key: Box<dyn Fn(&Coord) -> Vec<i64>> = match method {
+        type BlockKeyFn<'a> = Box<dyn Fn(&Coord) -> Vec<i64> + 'a>;
+        let block_key: BlockKeyFn<'_> = match method {
             BalanceMethod::Slabs { lb_dims } => {
                 assert!(!lb_dims.is_empty(), "slab balancing needs >= 1 dimension");
                 weighted.sort_by_key(|(t, _)| {
@@ -221,11 +218,9 @@ impl LoadBalance {
                 j += 1;
             }
             let mid = cum + block_work / 2;
-            let rank = if total == 0 {
-                0
-            } else {
-                (((mid * ranks as u128) / total) as usize).min(ranks - 1)
-            };
+            let rank = (mid * ranks as u128)
+                .checked_div(total)
+                .map_or(0, |r| (r as usize).min(ranks - 1));
             for (t, w) in &weighted[i..j] {
                 owners.insert(*t, rank);
                 rank_work[rank] += w;
@@ -302,7 +297,9 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn triangle(w: i64) -> Tiling {
@@ -316,7 +313,9 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -342,7 +341,9 @@ mod tests {
             &tiling,
             &[20],
             3,
-            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            &BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         );
         let owner = lb.clone().into_owner();
         let mut point = tiling.make_point(&[20]);
@@ -364,17 +365,15 @@ mod tests {
         // better balance on non-rectangular spaces.
         let tiling = triangle(2);
         let n = 40i64;
-        let one = LoadBalance::compute(
-            &tiling,
-            &[n],
-            3,
-            &BalanceMethod::Slabs { lb_dims: vec![0] },
-        );
+        let one =
+            LoadBalance::compute(&tiling, &[n], 3, &BalanceMethod::Slabs { lb_dims: vec![0] });
         let two = LoadBalance::compute(
             &tiling,
             &[n],
             3,
-            &BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+            &BalanceMethod::Slabs {
+                lb_dims: vec![0, 1],
+            },
         );
         assert!(
             two.imbalance() <= one.imbalance() + 1e-9,

@@ -195,8 +195,7 @@ mod tests {
         let want = serial.get(&[0, 0, 0, 0]).unwrap();
         // With p = 0.5 both arms are identical; V(0) = N/2 for this toy.
         assert!((want - n as f64 / 2.0).abs() < 1e-9, "got {want}");
-        let shared =
-            program.run_shared::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 4);
+        let shared = program.run_shared::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 4);
         assert_eq!(shared.probes[0], Some(want));
         let hybrid =
             program.run_hybrid::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 3, 2);

@@ -107,7 +107,10 @@ impl ProblemSpec {
         };
         let lines: Vec<&str> = text.lines().collect();
         let mut ln = 0usize;
-        let syntax = |line: usize, message: String| SpecError::Syntax { line: line + 1, message };
+        let syntax = |line: usize, message: String| SpecError::Syntax {
+            line: line + 1,
+            message,
+        };
         while ln < lines.len() {
             let raw = lines[ln];
             let line = raw.trim();
@@ -135,10 +138,9 @@ impl ProblemSpec {
                         .next()
                         .ok_or_else(|| syntax(ln, "template needs a name".into()))?
                         .to_string();
-                    let offsets: Result<Vec<i64>, _> =
-                        parts.map(|p| p.parse::<i64>()).collect();
-                    let offsets = offsets
-                        .map_err(|e| syntax(ln, format!("bad template component: {e}")))?;
+                    let offsets: Result<Vec<i64>, _> = parts.map(|p| p.parse::<i64>()).collect();
+                    let offsets =
+                        offsets.map_err(|e| syntax(ln, format!("bad template component: {e}")))?;
                     spec.templates.push(SpecTemplate { name, offsets });
                 }
                 "order" => spec.order = words(rest),
@@ -426,25 +428,22 @@ mod tests {
         // Width arity.
         assert!(ProblemSpec::parse("vars x y\nconstraint x <= y\nwidths 3\n").is_err());
         // Template arity.
-        assert!(ProblemSpec::parse(
-            "vars x\nconstraint 0 <= x <= 5\nwidths 2\ntemplate r 1 0\n"
-        )
-        .is_err());
+        assert!(
+            ProblemSpec::parse("vars x\nconstraint 0 <= x <= 5\nwidths 2\ntemplate r 1 0\n")
+                .is_err()
+        );
         // Unknown order name.
-        assert!(ProblemSpec::parse(
-            "vars x\nconstraint 0 <= x <= 5\nwidths 2\norder z\n"
-        )
-        .is_err());
+        assert!(ProblemSpec::parse("vars x\nconstraint 0 <= x <= 5\nwidths 2\norder z\n").is_err());
         // Incomplete order.
         assert!(ProblemSpec::parse(
             "vars x y\nconstraint 0 <= x <= y\nconstraint y <= 5\nwidths 2 2\norder x\n"
         )
         .is_err());
         // Duplicate load-balance dim.
-        assert!(ProblemSpec::parse(
-            "vars x\nconstraint 0 <= x <= 5\nwidths 2\nloadbalance x x\n"
-        )
-        .is_err());
+        assert!(
+            ProblemSpec::parse("vars x\nconstraint 0 <= x <= 5\nwidths 2\nloadbalance x x\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -71,7 +71,13 @@ where
     let mut log: HashMap<Coord, Vec<(Coord, Vec<T>)>> = HashMap::new();
     let layout = tiling.layout();
     while let Some(tile) = queue.pop_front() {
-        let values = compute_tile(tiling, params, kernel, &tile, log.get(&tile).map(Vec::as_slice).unwrap_or(&[]));
+        let values = compute_tile(
+            tiling,
+            params,
+            kernel,
+            &tile,
+            log.get(&tile).map(Vec::as_slice).unwrap_or(&[]),
+        );
         // Pack edges for every consumer, log them, and decrement.
         for (dep_idx, dep) in tiling.deps().iter().enumerate() {
             let consumer = tile.sub(&dep.delta);
@@ -84,7 +90,9 @@ where
             edge.for_each_cell(&mut point, |j| payload.push(values[layout.loc(j)]))
                 .expect("edge pack failed");
             log.entry(consumer).or_default().push((dep.delta, payload));
-            let r = remaining.get_mut(&consumer).expect("consumer not in tile space");
+            let r = remaining
+                .get_mut(&consumer)
+                .expect("consumer not in tile space");
             *r -= 1;
             if *r == 0 {
                 queue.push_back(consumer);
@@ -239,7 +247,9 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn score(x: i64, y: i64) -> i64 {
@@ -248,8 +258,16 @@ mod tests {
     }
 
     fn kernel(cell: CellRef<'_>, values: &mut [i64]) {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { i64::MIN / 2 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { i64::MIN / 2 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            i64::MIN / 2
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            i64::MIN / 2
+        };
         let best = a.max(b).max(0);
         values[cell.loc] = score(cell.x[0], cell.x[1]) + best;
     }
@@ -260,8 +278,16 @@ mod tests {
         for sum in (0..=n).rev() {
             for x in 0..=sum {
                 let y = sum - x;
-                let a = if x + 1 + y <= n { f[&(x + 1, y)] } else { i64::MIN / 2 };
-                let b = if x + y + 1 <= n { f[&(x, y + 1)] } else { i64::MIN / 2 };
+                let a = if x + 1 + y <= n {
+                    f[&(x + 1, y)]
+                } else {
+                    i64::MIN / 2
+                };
+                let b = if x + y < n {
+                    f[&(x, y + 1)]
+                } else {
+                    i64::MIN / 2
+                };
                 let best: i64 = a.max(b).max(0);
                 f.insert((x, y), score(x, y) + best);
             }
@@ -269,8 +295,16 @@ mod tests {
         let mut path = vec![(0i64, 0i64)];
         let (mut x, mut y) = (0i64, 0i64);
         loop {
-            let a = if x + 1 + y <= n { Some(f[&(x + 1, y)]) } else { None };
-            let b = if x + y + 1 <= n { Some(f[&(x, y + 1)]) } else { None };
+            let a = if x + 1 + y <= n {
+                Some(f[&(x + 1, y)])
+            } else {
+                None
+            };
+            let b = if x + y < n {
+                Some(f[&(x, y + 1)])
+            } else {
+                None
+            };
             match (a, b) {
                 (None, None) => break,
                 (Some(av), Some(bv)) if av >= bv => x += 1,
@@ -313,9 +347,14 @@ mod tests {
         let n = 40i64;
         let log = run_logged::<i64, _>(&tiling, &[n], &kernel);
         let total_space = ((n + 1) * (n + 2) / 2) as usize;
-        assert!(log.total_cells() < total_space, "{} vs {}", log.total_cells(), total_space);
+        assert!(
+            log.total_cells() < total_space,
+            "{} vs {}",
+            log.total_cells(),
+            total_space
+        );
         assert!(!log.is_empty());
-        assert!(log.len() > 0);
+        assert!(!log.is_empty());
     }
 
     #[test]

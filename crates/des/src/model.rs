@@ -27,11 +27,11 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
-            cell_cost: 20e-9,       // ~20 ns per DP cell
-            tile_overhead: 2e-6,    // ~2 µs per tile dispatch
-            edge_cell_cost: 4e-9,   // pack + unpack
-            comm_latency: 5e-6,     // MPI eager-message latency
-            comm_cell_cost: 8e-9,   // 8-byte value at ~1 GB/s
+            cell_cost: 20e-9,     // ~20 ns per DP cell
+            tile_overhead: 2e-6,  // ~2 µs per tile dispatch
+            edge_cell_cost: 4e-9, // pack + unpack
+            comm_latency: 5e-6,   // MPI eager-message latency
+            comm_cell_cost: 8e-9, // 8-byte value at ~1 GB/s
         }
     }
 }
@@ -67,7 +67,12 @@ impl SimConfig {
     }
 
     /// Multi-node configuration with the paper's default priority.
-    pub fn hybrid(ranks: usize, threads_per_rank: usize, dims: usize, lb_dims: &[usize]) -> SimConfig {
+    pub fn hybrid(
+        ranks: usize,
+        threads_per_rank: usize,
+        dims: usize,
+        lb_dims: &[usize],
+    ) -> SimConfig {
         SimConfig {
             ranks,
             threads_per_rank,

@@ -135,8 +135,7 @@ pub fn simulate<O: TileOwner + ?Sized>(
     // --- Static structure: tiles, work, owners, edges. -----------------
     let mut tiles: Vec<Coord> = Vec::new();
     tiling.for_each_tile(&mut point, |t| tiles.push(t));
-    let index: HashMap<Coord, usize> =
-        tiles.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+    let index: HashMap<Coord, usize> = tiles.iter().enumerate().map(|(i, t)| (*t, i)).collect();
     let n = tiles.len();
     let work: Vec<u128> = tiles
         .iter()
@@ -158,7 +157,9 @@ pub fn simulate<O: TileOwner + ?Sized>(
     for (i, t) in tiles.iter().enumerate() {
         for (dep_idx, dep) in tiling.deps().iter().enumerate() {
             let consumer = t.sub(&dep.delta);
-            let Some(&c) = index.get(&consumer) else { continue };
+            let Some(&c) = index.get(&consumer) else {
+                continue;
+            };
             tiling.set_tile(t, &mut point);
             let cells = tiling.edges()[dep_idx]
                 .count(&mut point)
@@ -170,8 +171,8 @@ pub fn simulate<O: TileOwner + ?Sized>(
     }
     // Incoming cells are known statically too (needed for durations).
     let mut in_total: Vec<u64> = vec![0; n];
-    for i in 0..n {
-        for &(c, cells) in &out_edges[i] {
+    for edges in out_edges.iter().take(n) {
+        for &(c, cells) in edges {
             in_total[c] += cells;
         }
     }
@@ -216,8 +217,8 @@ pub fn simulate<O: TileOwner + ?Sized>(
 
     // --- Dynamic state. --------------------------------------------------
     let directions = tiling.templates().directions().to_vec();
-    let mut ready: Vec<BinaryHeap<Reverse<(Vec<i64>, usize)>>> =
-        (0..config.ranks).map(|_| BinaryHeap::new()).collect();
+    type RankQueue = BinaryHeap<Reverse<(Vec<i64>, usize)>>;
+    let mut ready: Vec<RankQueue> = (0..config.ranks).map(|_| BinaryHeap::new()).collect();
     let mut idle: Vec<usize> = vec![config.threads_per_rank; config.ranks];
     let mut busy: Vec<f64> = vec![0.0; config.ranks];
     let mut events: BinaryHeap<Reverse<QueueEntry>> = BinaryHeap::new();
@@ -232,17 +233,15 @@ pub fn simulate<O: TileOwner + ?Sized>(
     // bounded by the send-buffer count.
     let mut inflight: HashMap<(usize, usize), BinaryHeap<Reverse<QueueTime>>> = HashMap::new();
 
-    let push_event = |events: &mut BinaryHeap<Reverse<QueueEntry>>,
-                          seq: &mut u64,
-                          time: f64,
-                          event: Event| {
-        *seq += 1;
-        events.push(Reverse(QueueEntry {
-            time,
-            seq: *seq,
-            event,
-        }));
-    };
+    let push_event =
+        |events: &mut BinaryHeap<Reverse<QueueEntry>>, seq: &mut u64, time: f64, event: Event| {
+            *seq += 1;
+            events.push(Reverse(QueueEntry {
+                time,
+                seq: *seq,
+                event,
+            }));
+        };
 
     // A tile becomes ready: queue it on its rank.
     macro_rules! enqueue_ready {
@@ -259,7 +258,9 @@ pub fn simulate<O: TileOwner + ?Sized>(
             let r = $r;
             let now: f64 = $t;
             while idle[r] > 0 {
-                let Some(Reverse((_, i))) = ready[r].pop() else { break };
+                let Some(Reverse((_, i))) = ready[r].pop() else {
+                    break;
+                };
                 idle[r] -= 1;
                 let d = duration(i);
                 busy[r] += d;
@@ -268,10 +269,8 @@ pub fn simulate<O: TileOwner + ?Sized>(
         }};
     }
 
-    for i in 0..n {
-        if pending[i] == 0 {
-            enqueue_ready!(i);
-        }
+    for i in (0..n).filter(|&i| pending[i] == 0) {
+        enqueue_ready!(i);
     }
     for r in 0..config.ranks {
         dispatch!(r, 0.0);
@@ -318,8 +317,7 @@ pub fn simulate<O: TileOwner + ?Sized>(
                                 tcur = free_at;
                             }
                         }
-                        let arrive =
-                            tcur + cost.comm_latency + cells as f64 * cost.comm_cell_cost;
+                        let arrive = tcur + cost.comm_latency + cells as f64 * cost.comm_cell_cost;
                         if config.send_buffers != usize::MAX {
                             inflight
                                 .entry((r, dest))
@@ -520,7 +518,12 @@ mod tests {
         let split = simulate(&tiling, &[n], &Owner2(2), &config);
         // With free communication the 2x1 split can still lose a little to
         // rank-local scheduling, but not more than a few percent.
-        assert!(split.makespan <= shared.makespan * 1.25, "{} vs {}", split.makespan, shared.makespan);
+        assert!(
+            split.makespan <= shared.makespan * 1.25,
+            "{} vs {}",
+            split.makespan,
+            shared.makespan
+        );
     }
 
     #[test]

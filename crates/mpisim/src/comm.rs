@@ -112,7 +112,9 @@ impl<T: Wire> RankComm<T> {
         let mut inbox = self.inbox.lock();
         for k in 0..n {
             let idx = (start + k) % n;
-            let Some(rx) = &self.receivers[idx] else { continue };
+            let Some(rx) = &self.receivers[idx] else {
+                continue;
+            };
             while drained < self.config.recv_buffers {
                 match rx.try_recv() {
                     Ok(pkt) => {
@@ -159,7 +161,10 @@ impl<T: Wire + Send + Sync + 'static> Transport<T> for RankComm<T> {
                     pkt = p;
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    panic!("rank {dest} disconnected while rank {} was sending", self.rank)
+                    panic!(
+                        "rank {dest} disconnected while rank {} was sending",
+                        self.rank
+                    )
                 }
             }
         }

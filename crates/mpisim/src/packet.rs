@@ -20,8 +20,7 @@ use dpgen_tiling::Coord;
 pub fn encode<T: Wire>(msg: &EdgeMsg<T>) -> Bytes {
     let d = msg.tile.dims();
     debug_assert_eq!(d, msg.delta.dims());
-    let mut buf =
-        BytesMut::with_capacity(1 + 16 * d + 4 + msg.payload.len() * T::SIZE);
+    let mut buf = BytesMut::with_capacity(1 + 16 * d + 4 + msg.payload.len() * T::SIZE);
     buf.put_u8(d as u8);
     for &c in msg.tile.as_slice() {
         buf.put_i64_le(c);

@@ -29,7 +29,8 @@ impl CommStats {
 
     pub(crate) fn note_recv(&self, bytes: usize) {
         self.msgs_received.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn note_stall(&self, waited: Duration) {

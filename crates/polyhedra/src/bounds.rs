@@ -347,7 +347,8 @@ mod tests {
         let nest = LoopNest::synthesize(&sys, &[0, 1]).unwrap();
         let mut pts = Vec::new();
         let mut point = [0i128, 0, 3];
-        nest.for_each_point(&mut point, |p| pts.push((p[0], p[1]))).unwrap();
+        nest.for_each_point(&mut point, |p| pts.push((p[0], p[1])))
+            .unwrap();
         // Triangle with N = 3 has C(5, 2) = 10 points.
         assert_eq!(pts.len(), 10);
         assert!(pts.contains(&(0, 0)));
@@ -383,7 +384,8 @@ mod tests {
         let collect = |nest: &LoopNest| {
             let mut pts = Vec::new();
             let mut point = [0i128, 0, 4];
-            nest.for_each_point(&mut point, |p| pts.push((p[0], p[1]))).unwrap();
+            nest.for_each_point(&mut point, |p| pts.push((p[0], p[1])))
+                .unwrap();
             pts
         };
         let mut a = collect(&nest_xy);
@@ -522,9 +524,10 @@ mod tests {
                     sys.add_text(&format!("-4 <= {v} <= 4")).unwrap();
                 }
                 for (a, b, c, k) in extra {
-                    sys.add(crate::constraint::Constraint::ge0(
-                        LinExpr::from_parts(vec![a, b, c], k),
-                    ))
+                    sys.add(crate::constraint::Constraint::ge0(LinExpr::from_parts(
+                        vec![a, b, c],
+                        k,
+                    )))
                     .unwrap();
                 }
                 sys

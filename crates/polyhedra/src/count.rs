@@ -92,8 +92,8 @@ mod tests {
             s
         };
         let extra = vec![
-            Constraint::ge0(LinExpr::from_parts(vec![1], -4)),  // x >= 4
-            Constraint::ge0(LinExpr::from_parts(vec![-1], 2)),  // x <= 2
+            Constraint::ge0(LinExpr::from_parts(vec![1], -4)), // x >= 4
+            Constraint::ge0(LinExpr::from_parts(vec![-1], 2)), // x <= 2
         ];
         let mut point = [0i128];
         assert_eq!(count_points_with(&base, &extra, &mut point).unwrap(), 0);
@@ -112,8 +112,8 @@ mod tests {
             s
         };
         let extra = vec![
-            Constraint::ge0(LinExpr::from_parts(vec![1, 0, 0], -2)),  // x >= 2
-            Constraint::ge0(LinExpr::from_parts(vec![-1, 0, 0], 3)),  // x <= 3
+            Constraint::ge0(LinExpr::from_parts(vec![1, 0, 0], -2)), // x >= 2
+            Constraint::ge0(LinExpr::from_parts(vec![-1, 0, 0], 3)), // x <= 3
         ];
         let mut point = [0i128, 0, 5];
         assert_eq!(count_points_with(&sys, &extra, &mut point).unwrap(), 7);

@@ -82,20 +82,15 @@ impl QuasiPolynomial {
     pub fn eval(&self, n: i128) -> Result<i128, PolyError> {
         let r = n.rem_euclid(self.period as i128) as usize;
         let v = eval_poly(&self.polys[r], n);
-        v.to_integer().ok_or_else(|| {
-            PolyError::Interpolation(format!("non-integer value {v} at n = {n}"))
-        })
+        v.to_integer()
+            .ok_or_else(|| PolyError::Interpolation(format!("non-integer value {v} at n = {n}")))
     }
 
     /// Degree of the highest nonzero coefficient across all residue classes.
     pub fn degree(&self) -> usize {
         self.polys
             .iter()
-            .map(|p| {
-                p.iter()
-                    .rposition(|c| !c.is_zero())
-                    .unwrap_or(0)
-            })
+            .map(|p| p.iter().rposition(|c| !c.is_zero()).unwrap_or(0))
             .max()
             .unwrap_or(0)
     }
@@ -122,7 +117,9 @@ fn eval_poly(coeffs: &[Rational], n: i128) -> Rational {
 fn fit_polynomial(xs: &[i128], ys: &[i128]) -> Result<Vec<Rational>, PolyError> {
     let m = xs.len();
     if m == 0 || ys.len() != m {
-        return Err(PolyError::Interpolation("empty or mismatched samples".into()));
+        return Err(PolyError::Interpolation(
+            "empty or mismatched samples".into(),
+        ));
     }
     // Divided-difference table.
     let mut dd: Vec<Rational> = ys.iter().map(|&y| Rational::from_int(y)).collect();

@@ -39,7 +39,10 @@ impl fmt::Display for PolyError {
             PolyError::UnknownName(n) => write!(f, "unknown variable or parameter `{n}`"),
             PolyError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             PolyError::SpaceMismatch { expected, found } => {
-                write!(f, "space mismatch: expected dimension {expected}, found {found}")
+                write!(
+                    f,
+                    "space mismatch: expected dimension {expected}, found {found}"
+                )
             }
             PolyError::Overflow(op) => write!(f, "i128 overflow during {op}"),
             PolyError::MissingVariable(n) => write!(f, "variable `{n}` is not present"),
@@ -64,9 +67,16 @@ mod tests {
             "unknown variable or parameter `x`"
         );
         assert_eq!(
-            PolyError::SpaceMismatch { expected: 3, found: 2 }.to_string(),
+            PolyError::SpaceMismatch {
+                expected: 3,
+                found: 2
+            }
+            .to_string(),
             "space mismatch: expected dimension 3, found 2"
         );
-        assert_eq!(PolyError::Infeasible.to_string(), "constraint system is infeasible");
+        assert_eq!(
+            PolyError::Infeasible.to_string(),
+            "constraint system is infeasible"
+        );
     }
 }

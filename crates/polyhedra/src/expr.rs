@@ -48,7 +48,12 @@ impl LinExpr {
 
     /// Parse a term like `3*x`, `-y`, `N` or `7` against `space` and add it.
     /// Used by the spec front end; see [`crate::system::parse_constraint`].
-    pub fn add_term(&mut self, coeff: i128, name: Option<&str>, space: &Space) -> Result<(), PolyError> {
+    pub fn add_term(
+        &mut self,
+        coeff: i128,
+        name: Option<&str>,
+        space: &Space,
+    ) -> Result<(), PolyError> {
         match name {
             Some(n) => {
                 let idx = space.index(n)?;
@@ -277,7 +282,10 @@ mod tests {
     #[test]
     fn eval_dim_mismatch() {
         let e = LinExpr::zero(3);
-        assert!(matches!(e.eval(&[1, 2]), Err(PolyError::SpaceMismatch { .. })));
+        assert!(matches!(
+            e.eval(&[1, 2]),
+            Err(PolyError::SpaceMismatch { .. })
+        ));
     }
 
     #[test]
@@ -359,10 +367,7 @@ mod tests {
     }
 
     fn expr(dim: usize) -> impl Strategy<Value = LinExpr> {
-        (
-            proptest::collection::vec(-50i128..50, dim),
-            -100i128..100,
-        )
+        (proptest::collection::vec(-50i128..50, dim), -100i128..100)
             .prop_map(|(c, k)| LinExpr::from_parts(c, k))
     }
 

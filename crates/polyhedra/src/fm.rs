@@ -46,7 +46,7 @@ pub fn eliminate(sys: &ConstraintSystem, var: usize) -> Result<ConstraintSystem,
         let a = lo.coeff(var); // > 0
         for up in &uppers {
             let b = -up.coeff(var); // > 0
-            // b * lo + a * up cancels `var`.
+                                    // b * lo + a * up cancels `var`.
             let combined = lo
                 .expr()
                 .checked_scale(b)?

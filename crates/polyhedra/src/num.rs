@@ -51,7 +51,8 @@ pub fn ceil_div(n: i128, d: i128) -> i128 {
 
 /// Checked multiply that surfaces overflow as a [`PolyError`].
 pub fn mul(a: i128, b: i128) -> Result<i128, PolyError> {
-    a.checked_mul(b).ok_or(PolyError::Overflow("multiplication"))
+    a.checked_mul(b)
+        .ok_or(PolyError::Overflow("multiplication"))
 }
 
 /// Checked add that surfaces overflow as a [`PolyError`].

@@ -100,9 +100,15 @@ impl Add for Rational {
         Rational::new(
             self.num
                 .checked_mul(lhs_scale)
-                .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+                .and_then(|a| {
+                    rhs.num
+                        .checked_mul(rhs_scale)
+                        .and_then(|b| a.checked_add(b))
+                })
                 .expect("rational addition overflow"),
-            self.den.checked_mul(lhs_scale).expect("rational addition overflow"),
+            self.den
+                .checked_mul(lhs_scale)
+                .expect("rational addition overflow"),
         )
     }
 }
@@ -158,8 +164,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
-        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
         lhs.cmp(&rhs)
     }
 }

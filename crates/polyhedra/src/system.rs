@@ -110,7 +110,8 @@ impl ConstraintSystem {
         // synthesise (empty) loops for the remaining variables.
         if contradiction && !self.is_trivially_infeasible() {
             let dim = self.space.dim();
-            self.constraints.push(Constraint::ge0(LinExpr::constant(dim, -1)));
+            self.constraints
+                .push(Constraint::ge0(LinExpr::constant(dim, -1)));
         }
     }
 
@@ -278,7 +279,9 @@ fn parse_side(toks: &[Tok], space: &Space, text: &str) -> Result<LinExpr, PolyEr
                         expr.add_term(sign * n, Some(name), space)?;
                         i += 3;
                     } else {
-                        return Err(PolyError::Parse(format!("expected name after `*` in `{text}`")));
+                        return Err(PolyError::Parse(format!(
+                            "expected name after `*` in `{text}`"
+                        )));
                     }
                 } else if i + 1 < toks.len() {
                     if let Tok::Ident(name) = &toks[i + 1] {
@@ -338,7 +341,9 @@ pub fn parse_constraint(text: &str, space: &Space) -> Result<Vec<Constraint>, Po
         }
     }
     if ops.is_empty() {
-        return Err(PolyError::Parse(format!("no comparison operator in `{text}`")));
+        return Err(PolyError::Parse(format!(
+            "no comparison operator in `{text}`"
+        )));
     }
     let exprs: Vec<LinExpr> = sides
         .iter()

@@ -16,8 +16,8 @@
 //! successes are then simply what was observed). This is the adaptive
 //! clinical-trial model of the paper's introduction.
 
-use dpgen_core::{ProblemSpec, Program, ProgramError};
 use dpgen_core::spec::SpecTemplate;
+use dpgen_core::{ProblemSpec, Program, ProgramError};
 use dpgen_runtime::Kernel;
 use dpgen_tiling::tiling::CellRef;
 
@@ -55,10 +55,22 @@ impl Bandit2 {
                 "s1 + f1 + s2 + f2 <= N".into(),
             ],
             templates: vec![
-                SpecTemplate { name: "r1".into(), offsets: vec![1, 0, 0, 0] },
-                SpecTemplate { name: "r2".into(), offsets: vec![0, 1, 0, 0] },
-                SpecTemplate { name: "r3".into(), offsets: vec![0, 0, 1, 0] },
-                SpecTemplate { name: "r4".into(), offsets: vec![0, 0, 0, 1] },
+                SpecTemplate {
+                    name: "r1".into(),
+                    offsets: vec![1, 0, 0, 0],
+                },
+                SpecTemplate {
+                    name: "r2".into(),
+                    offsets: vec![0, 1, 0, 0],
+                },
+                SpecTemplate {
+                    name: "r3".into(),
+                    offsets: vec![0, 0, 1, 0],
+                },
+                SpecTemplate {
+                    name: "r4".into(),
+                    offsets: vec![0, 0, 0, 1],
+                },
             ],
             order: vec![],
             load_balance: vec!["s1".into(), "f1".into()],
@@ -69,7 +81,7 @@ impl Bandit2 {
                           double V2 = p2 * V[loc_r3] + (1 - p2) * V[loc_r4];\n\
                           V[loc] = DP_MAX(V1, V2);\n\
                           }"
-                .into(),
+            .into(),
             init_code: "const double p1 = (a1 + s1) / (a1 + b1 + s1 + f1);\n\
                         const double p2 = (a2 + s2) / (a2 + b2 + s2 + f2);"
                 .into(),
@@ -104,10 +116,10 @@ impl Bandit2 {
                         }
                         let p1 = Bandit2::posterior(self.prior1, s1, f1);
                         let p2 = Bandit2::posterior(self.prior2, s2, f2);
-                        let v1 = p1 * v[&(s1 + 1, f1, s2, f2)]
-                            + (1.0 - p1) * v[&(s1, f1 + 1, s2, f2)];
-                        let v2 = p2 * v[&(s1, f1, s2 + 1, f2)]
-                            + (1.0 - p2) * v[&(s1, f1, s2, f2 + 1)];
+                        let v1 =
+                            p1 * v[&(s1 + 1, f1, s2, f2)] + (1.0 - p1) * v[&(s1, f1 + 1, s2, f2)];
+                        let v2 =
+                            p2 * v[&(s1, f1, s2 + 1, f2)] + (1.0 - p2) * v[&(s1, f1, s2, f2 + 1)];
                         v.insert(key, v1.max(v2));
                     }
                 }
@@ -159,12 +171,8 @@ mod tests {
         let program = Bandit2::program(3).unwrap();
         for n in [1i64, 2, 5, 9] {
             let want = problem.solve_dense(n);
-            let res = program.run_shared::<f64, _>(
-                &[n],
-                &problem.kernel(),
-                &Probe::at(&[0, 0, 0, 0]),
-                2,
-            );
+            let res =
+                program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }
@@ -176,13 +184,8 @@ mod tests {
         let program = Bandit2::program(2).unwrap();
         let n = 8i64;
         let want = problem.solve_dense(n);
-        let res = program.run_hybrid::<f64, _>(
-            &[n],
-            &problem.kernel(),
-            &Probe::at(&[0, 0, 0, 0]),
-            3,
-            2,
-        );
+        let res =
+            program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 3, 2);
         assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
     }
 
@@ -225,12 +228,8 @@ mod tests {
         let v = problem.solve_dense(n);
         assert!(v >= n as f64 * 0.9 - 1.0, "v = {v}");
         let program = Bandit2::program(4).unwrap();
-        let res = program.run_shared::<f64, _>(
-            &[n],
-            &problem.kernel(),
-            &Probe::at(&[0, 0, 0, 0]),
-            2,
-        );
+        let res =
+            program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
         assert!((res.probes[0].unwrap() - v).abs() < 1e-9);
     }
 }

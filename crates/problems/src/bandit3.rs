@@ -135,8 +135,7 @@ impl Kernel<f64> for Bandit3Kernel {
         for arm in 0..3 {
             let (s, f) = (x[2 * arm], x[2 * arm + 1]);
             let p = Bandit3::posterior(self.problem.priors[arm], s, f);
-            let v = p * values[cell.loc_r(2 * arm)]
-                + (1.0 - p) * values[cell.loc_r(2 * arm + 1)];
+            let v = p * values[cell.loc_r(2 * arm)] + (1.0 - p) * values[cell.loc_r(2 * arm + 1)];
             best = best.max(v);
         }
         values[cell.loc] = best;
@@ -154,12 +153,7 @@ mod tests {
         let program = Bandit3::program(2).unwrap();
         for n in [1i64, 3, 5] {
             let want = problem.solve_dense(n);
-            let res = program.run_shared::<f64, _>(
-                &[n],
-                &problem.kernel(),
-                &Probe::at(&[0; 6]),
-                2,
-            );
+            let res = program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2);
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }
@@ -179,8 +173,7 @@ mod tests {
         let program = Bandit3::program(2).unwrap();
         let n = 4i64;
         let want = problem.solve_dense(n);
-        let res =
-            program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2, 2);
+        let res = program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2, 2);
         assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
     }
 }

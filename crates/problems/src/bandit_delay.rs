@@ -41,8 +41,12 @@ impl BanditDelay {
         ProblemSpec {
             name: "bandit_delay".into(),
             vars: vec![
-                "u1".into(), "s1".into(), "f1".into(),
-                "u2".into(), "s2".into(), "f2".into(),
+                "u1".into(),
+                "s1".into(),
+                "f1".into(),
+                "u2".into(),
+                "s2".into(),
+                "f2".into(),
             ],
             params: vec!["N".into()],
             constraints: vec![
@@ -57,10 +61,22 @@ impl BanditDelay {
                 "u1 + u2 <= N".into(),
             ],
             templates: vec![
-                SpecTemplate { name: "r1s".into(), offsets: vec![1, 1, 0, 0, 0, 0] },
-                SpecTemplate { name: "r1f".into(), offsets: vec![1, 0, 1, 0, 0, 0] },
-                SpecTemplate { name: "r2s".into(), offsets: vec![0, 0, 0, 1, 1, 0] },
-                SpecTemplate { name: "r2f".into(), offsets: vec![0, 0, 0, 1, 0, 1] },
+                SpecTemplate {
+                    name: "r1s".into(),
+                    offsets: vec![1, 1, 0, 0, 0, 0],
+                },
+                SpecTemplate {
+                    name: "r1f".into(),
+                    offsets: vec![1, 0, 1, 0, 0, 0],
+                },
+                SpecTemplate {
+                    name: "r2s".into(),
+                    offsets: vec![0, 0, 0, 1, 1, 0],
+                },
+                SpecTemplate {
+                    name: "r2f".into(),
+                    offsets: vec![0, 0, 0, 1, 0, 1],
+                },
             ],
             order: vec![],
             load_balance: vec!["u1".into(), "s1".into()],
@@ -160,13 +176,11 @@ impl Kernel<f64> for BanditDelayKernel {
         let mut best = f64::NEG_INFINITY;
         if cell.valid[0] {
             debug_assert!(cell.valid[1], "r1s and r1f share validity");
-            best = best
-                .max(p1 * values[cell.loc_r(0)] + (1.0 - p1) * values[cell.loc_r(1)]);
+            best = best.max(p1 * values[cell.loc_r(0)] + (1.0 - p1) * values[cell.loc_r(1)]);
         }
         if cell.valid[2] {
             debug_assert!(cell.valid[3]);
-            best = best
-                .max(p2 * values[cell.loc_r(2)] + (1.0 - p2) * values[cell.loc_r(3)]);
+            best = best.max(p2 * values[cell.loc_r(2)] + (1.0 - p2) * values[cell.loc_r(3)]);
         }
         values[cell.loc] = best;
     }
@@ -191,12 +205,7 @@ mod tests {
         let program = BanditDelay::program(2).unwrap();
         for n in [1i64, 2, 4] {
             let want = problem.solve_dense(n);
-            let res = program.run_shared::<f64, _>(
-                &[n],
-                &problem.kernel(),
-                &Probe::at(&[0; 6]),
-                2,
-            );
+            let res = program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2);
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }

@@ -42,14 +42,20 @@ impl EditDistance {
             name: "editdist".into(),
             vars: vec!["i".into(), "j".into()],
             params: vec!["LA".into(), "LB".into()],
-            constraints: vec![
-                "0 <= i <= LA".into(),
-                "0 <= j <= LB".into(),
-            ],
+            constraints: vec!["0 <= i <= LA".into(), "0 <= j <= LB".into()],
             templates: vec![
-                SpecTemplate { name: "del".into(), offsets: vec![-1, 0] },
-                SpecTemplate { name: "ins".into(), offsets: vec![0, -1] },
-                SpecTemplate { name: "sub".into(), offsets: vec![-1, -1] },
+                SpecTemplate {
+                    name: "del".into(),
+                    offsets: vec![-1, 0],
+                },
+                SpecTemplate {
+                    name: "ins".into(),
+                    offsets: vec![0, -1],
+                },
+                SpecTemplate {
+                    name: "sub".into(),
+                    offsets: vec![-1, -1],
+                },
             ],
             order: vec![],
             load_balance: vec!["i".into()],
@@ -76,16 +82,20 @@ impl EditDistance {
     pub fn solve_dense(&self) -> i64 {
         let (n, m) = (self.a.len(), self.b.len());
         let mut d = vec![vec![0i64; m + 1]; n + 1];
-        for i in 0..=n {
-            d[i][0] = i as i64 * self.gap_cost;
+        for (i, row) in d.iter_mut().enumerate() {
+            row[0] = i as i64 * self.gap_cost;
         }
-        for j in 0..=m {
-            d[0][j] = j as i64 * self.gap_cost;
+        for (j, cell) in d[0].iter_mut().enumerate() {
+            *cell = j as i64 * self.gap_cost;
         }
         for i in 1..=n {
             for j in 1..=m {
                 let sub = d[i - 1][j - 1]
-                    + if self.a[i - 1] == self.b[j - 1] { 0 } else { self.sub_cost };
+                    + if self.a[i - 1] == self.b[j - 1] {
+                        0
+                    } else {
+                        self.sub_cost
+                    };
                 d[i][j] = sub
                     .min(d[i - 1][j] + self.gap_cost)
                     .min(d[i][j - 1] + self.gap_cost);
@@ -134,8 +144,7 @@ mod tests {
         let program = EditDistance::program(width).unwrap();
         let params = problem.params();
         let goal = [params[0], params[1]];
-        let res =
-            program.run_shared::<i64, _>(&params, problem, &Probe::at(&goal), threads);
+        let res = program.run_shared::<i64, _>(&params, problem, &Probe::at(&goal), threads);
         res.probes[0].unwrap()
     }
 
@@ -149,10 +158,7 @@ mod tests {
 
     #[test]
     fn tiled_matches_dense() {
-        let problem = EditDistance::new(
-            &random_sequence(40, 1),
-            &random_sequence(33, 2),
-        );
+        let problem = EditDistance::new(&random_sequence(40, 1), &random_sequence(33, 2));
         let want = problem.solve_dense();
         for width in [1i64, 4, 16, 64] {
             assert_eq!(run_tiled(&problem, width, 2), want, "width {width}");
@@ -161,10 +167,7 @@ mod tests {
 
     #[test]
     fn hybrid_matches_dense() {
-        let problem = EditDistance::new(
-            &random_sequence(30, 3),
-            &random_sequence(28, 4),
-        );
+        let problem = EditDistance::new(&random_sequence(30, 3), &random_sequence(28, 4));
         let want = problem.solve_dense();
         let program = EditDistance::program(4).unwrap();
         let params = problem.params();

@@ -20,10 +20,7 @@ pub struct Lcs {
 impl Lcs {
     /// New LCS problem over the given strings.
     pub fn new(seqs: &[&[u8]]) -> Lcs {
-        assert!(
-            (2..=3).contains(&seqs.len()),
-            "2 or 3 strings supported"
-        );
+        assert!((2..=3).contains(&seqs.len()), "2 or 3 strings supported");
         Lcs {
             seqs: seqs.iter().map(|s| s.to_vec()).collect(),
         }
@@ -63,7 +60,8 @@ impl Lcs {
             order: vec![],
             load_balance: vec!["i1".into()],
             widths: vec![width; d],
-            center_code: "/* see the Rust kernel; C rendering omitted for brevity */\nV[loc] = 0;".into(),
+            center_code: "/* see the Rust kernel; C rendering omitted for brevity */\nV[loc] = 0;"
+                .into(),
             init_code: String::new(),
             defines: String::new(),
             value_type: "long".into(),
@@ -104,8 +102,7 @@ impl Lcs {
             }
             3 => {
                 let (a, b, c) = (&self.seqs[0], &self.seqs[1], &self.seqs[2]);
-                let mut l =
-                    vec![vec![vec![0i64; c.len() + 1]; b.len() + 1]; a.len() + 1];
+                let mut l = vec![vec![vec![0i64; c.len() + 1]; b.len() + 1]; a.len() + 1];
                 for i in 1..=a.len() {
                     for j in 1..=b.len() {
                         for k in 1..=c.len() {
@@ -128,7 +125,7 @@ impl Kernel<i64> for Lcs {
     fn compute(&self, cell: CellRef<'_>, values: &mut [i64]) {
         let d = self.seqs.len();
         // Any zero coordinate: empty prefix, LCS length 0.
-        if cell.x.iter().any(|&c| c == 0) {
+        if cell.x.contains(&0) {
             values[cell.loc] = 0;
             return;
         }

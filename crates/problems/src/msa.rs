@@ -78,7 +78,8 @@ impl Msa {
             order: vec![],
             load_balance: vec!["i1".into(), "i2".into()],
             widths: vec![width; d],
-            center_code: "/* see the Rust kernel; C rendering omitted for brevity */\nV[loc] = 0;".into(),
+            center_code: "/* see the Rust kernel; C rendering omitted for brevity */\nV[loc] = 0;"
+                .into(),
             init_code: String::new(),
             defines: String::new(),
             value_type: "long".into(),
@@ -129,10 +130,10 @@ impl Msa {
         let mut table: HashMap<Vec<i64>, i64> = HashMap::new();
         // Enumerate cells in ascending coordinate-sum order.
         let mut cells: Vec<Vec<i64>> = vec![vec![]];
-        for k in 0..d {
+        for &len in lens.iter().take(d) {
             let mut next = Vec::new();
             for c in &cells {
-                for v in 0..=lens[k] {
+                for v in 0..=len {
                     let mut cc = c.clone();
                     cc.push(v);
                     next.push(cc);
@@ -259,13 +260,7 @@ mod tests {
         let b = random_sequence(16, 91);
         let p = Msa::new(&[&a, &b]);
         let program = Msa::program(2, 3).unwrap();
-        let res = program.run_hybrid::<i64, _>(
-            &p.params(),
-            &p,
-            &Probe::at(&p.goal()),
-            3,
-            2,
-        );
+        let res = program.run_hybrid::<i64, _>(&p.params(), &p, &Probe::at(&p.goal()), 3, 2);
         assert_eq!(res.probes[0].unwrap(), p.solve_dense());
     }
 }

@@ -158,16 +158,13 @@ mod tests {
         let p = SmithWaterman::new(b"AAAA", b"CCCC");
         assert_eq!(p.solve_dense(), 0);
         // A shared substring scores its length x match.
-        let p = SmithWaterman::new(b"XXXACGTYYY", b"ZZACGTZZZ", );
+        let p = SmithWaterman::new(b"XXXACGTYYY", b"ZZACGTZZZ");
         assert_eq!(p.solve_dense(), 8);
     }
 
     #[test]
     fn tiled_reduction_matches_dense() {
-        let problem = SmithWaterman::new(
-            &random_sequence(45, 7),
-            &random_sequence(38, 8),
-        );
+        let problem = SmithWaterman::new(&random_sequence(45, 7), &random_sequence(38, 8));
         let want = problem.solve_dense();
         assert!(want > 0);
         for (w, threads) in [(4i64, 1usize), (8, 2), (64, 4)] {

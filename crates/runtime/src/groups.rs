@@ -75,7 +75,13 @@ where
     let mem = Arc::new(MemoryStats::new());
     let directions = tiling.templates().directions().to_vec();
     let scheds: Vec<Mutex<Scheduler<T>>> = (0..groups)
-        .map(|_| Mutex::new(Scheduler::new(priority.clone(), directions.clone(), mem.clone())))
+        .map(|_| {
+            Mutex::new(Scheduler::new(
+                priority.clone(),
+                directions.clone(),
+                mem.clone(),
+            ))
+        })
         .collect();
     for t in initials {
         scheds[group_of(&t, groups)].lock().mark_initial(t);
@@ -182,7 +188,9 @@ where
                         edge_cells.fetch_add(payload.len() as u64, Ordering::Relaxed);
                         let total = tiling.dep_total(&consumer, &mut point);
                         let g = group_of(&consumer, groups);
-                        let ready = scheds[g].lock().deliver_edge(consumer, dep.delta, payload, total);
+                        let ready = scheds[g]
+                            .lock()
+                            .deliver_edge(consumer, dep.delta, payload, total);
                         edges_local.fetch_add(1, Ordering::Relaxed);
                         if ready {
                             cv.notify_one();
@@ -207,6 +215,11 @@ where
         init_time,
         total_time: t_start.elapsed(),
         idle_time: Duration::from_nanos(idle_ns.load(Ordering::Relaxed)),
+        steal_count: 0,
+        steal_fail_count: 0,
+        lock_wait_time: Duration::ZERO,
+        tiles_per_worker: Vec::new(),
+        peak_pending_tiles: mem.peak_pending_tiles(),
         threads,
         peak_edges: mem.peak_edges(),
         peak_edge_cells: mem.peak_edge_cells(),
@@ -239,12 +252,22 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn path_kernel(cell: CellRef<'_>, values: &mut [u64]) {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1
+        };
         values[cell.loc] = a + b;
     }
 
@@ -272,7 +295,10 @@ mod tests {
                     groups,
                     TilePriority::column_major(2),
                 );
-                assert_eq!(res.probes, baseline.probes, "groups={groups} threads={threads}");
+                assert_eq!(
+                    res.probes, baseline.probes,
+                    "groups={groups} threads={threads}"
+                );
                 assert_eq!(res.stats.cells_computed, baseline.stats.cells_computed);
             }
         }
@@ -295,7 +321,7 @@ mod tests {
 
     #[test]
     fn group_assignment_is_stable_and_spread() {
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for x in 0..20i64 {
             for y in 0..20 {
                 let t = Coord::from_slice(&[x, y]);

@@ -4,13 +4,20 @@
 //! paper's generator emits (Section V): on one node, a pool of worker
 //! threads repeatedly
 //!
-//! 1. gets the next available tile from a shared priority queue,
+//! 1. gets the next available tile from its own ready queue (stealing from
+//!    the richest sibling when empty — see [`sharded`]),
 //! 2. unpacks the buffered edge data into the tile's ghost cells,
 //! 3. executes the tile (the user's center-loop code),
 //! 4. packs each valid outgoing edge and updates neighbouring tiles (or
 //!    hands the edge to a [`Transport`] for another node),
-//! 5. adds any newly ready tiles to the priority queue,
+//! 5. delivers the batch of outgoing edges, readying any completed tiles,
 //! 6. polls for incoming edges when the lock is available.
+//!
+//! Tile-to-ready bookkeeping lives in [`sharded::ShardedScheduler`]: the
+//! pending table is split across Coord-hashed shards and each worker owns a
+//! private priority queue, so delivery and popping contend only on narrow
+//! locks. The single-queue [`scheduler::Scheduler`] remains as the
+//! group-local building block of [`groups`].
 //!
 //! Only *pending* tiles (those with at least one satisfied dependency) are
 //! tracked, and only *executing* tiles have full buffers in memory — the
@@ -28,16 +35,21 @@ pub mod priority;
 pub mod reduce;
 pub mod reference;
 pub mod scheduler;
+pub mod sharded;
 pub mod stats;
 pub mod transport;
 
 pub use groups::run_shared_grouped;
 pub use kernel::{Kernel, Value};
 pub use memory::MemoryStats;
-pub use node::{run_node, run_node_reduce, run_shared, run_shared_reduce, NodeConfig, NodeResult, Probe, SingleOwner, TileOwner};
+pub use node::{
+    run_node, run_node_reduce, run_shared, run_shared_reduce, NodeConfig, NodeResult, Probe,
+    SingleOwner, TileOwner,
+};
+pub use priority::TilePriority;
 pub use reduce::Reduction;
 pub use reference::{run_reference, ReferenceResult};
-pub use priority::TilePriority;
 pub use scheduler::Scheduler;
+pub use sharded::{EdgeDelivery, ShardedScheduler};
 pub use stats::RunStats;
 pub use transport::{EdgeMsg, NullTransport, Transport};

@@ -20,6 +20,8 @@ pub struct MemoryStats {
     live_tiles_peak: AtomicI64,
     live_tile_cells: AtomicI64,
     live_tile_cells_peak: AtomicI64,
+    pending_tiles: AtomicI64,
+    pending_tiles_peak: AtomicI64,
     edges_total: AtomicU64,
     edge_cells_total: AtomicU64,
 }
@@ -46,7 +48,8 @@ impl MemoryStats {
             cells as i64,
         );
         self.edges_total.fetch_add(1, Ordering::Relaxed);
-        self.edge_cells_total.fetch_add(cells as u64, Ordering::Relaxed);
+        self.edge_cells_total
+            .fetch_add(cells as u64, Ordering::Relaxed);
     }
 
     /// A buffered edge was consumed (unpacked into an executing tile).
@@ -77,6 +80,16 @@ impl MemoryStats {
             &self.live_tile_cells_peak,
             -(cells as i64),
         );
+    }
+
+    /// A tile entered the scheduler's pending table (first edge arrived).
+    pub fn tile_pending(&self) {
+        bump_peak(&self.pending_tiles, &self.pending_tiles_peak, 1);
+    }
+
+    /// A pending tile completed its dependency set and left the table.
+    pub fn tile_unpended(&self) {
+        bump_peak(&self.pending_tiles, &self.pending_tiles_peak, -1);
     }
 
     /// Peak number of simultaneously buffered edges.
@@ -118,6 +131,16 @@ impl MemoryStats {
     pub fn current_live_tiles(&self) -> i64 {
         self.live_tiles.load(Ordering::Relaxed)
     }
+
+    /// Peak simultaneously pending tiles — the paper's `O(n^{d-1})` bound.
+    pub fn peak_pending_tiles(&self) -> i64 {
+        self.pending_tiles_peak.load(Ordering::Relaxed)
+    }
+
+    /// Currently pending tiles (should be 0 after a complete run).
+    pub fn current_pending_tiles(&self) -> i64 {
+        self.pending_tiles.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +176,21 @@ mod tests {
         assert_eq!(m.current_live_tiles(), 0);
         assert_eq!(m.peak_live_tiles(), 2);
         assert_eq!(m.peak_live_tile_cells(), 200);
+    }
+
+    #[test]
+    fn pending_tiles_balance_to_zero() {
+        let m = MemoryStats::new();
+        m.tile_pending();
+        m.tile_pending();
+        m.tile_unpended();
+        m.tile_pending();
+        assert_eq!(m.peak_pending_tiles(), 2);
+        assert_eq!(m.current_pending_tiles(), 2);
+        m.tile_unpended();
+        m.tile_unpended();
+        assert_eq!(m.current_pending_tiles(), 0);
+        assert_eq!(m.peak_pending_tiles(), 2);
     }
 
     #[test]

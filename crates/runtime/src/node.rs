@@ -13,7 +13,7 @@ use crate::kernel::{Kernel, Value};
 use crate::memory::MemoryStats;
 use crate::priority::TilePriority;
 use crate::reduce::Reduction;
-use crate::scheduler::Scheduler;
+use crate::sharded::{EdgeDelivery, ShardedScheduler};
 use crate::stats::RunStats;
 use crate::transport::{EdgeMsg, Transport};
 use dpgen_tiling::{Coord, Tiling, MAX_DIMS};
@@ -169,7 +169,9 @@ where
     O: TileOwner,
     Tr: Transport<T>,
 {
-    run_node_reduce(tiling, params, kernel, owner, transport, probe, config, None)
+    run_node_reduce(
+        tiling, params, kernel, owner, transport, probe, config, None,
+    )
 }
 
 /// [`run_node`] with an optional whole-space [`Reduction`] folded over
@@ -217,56 +219,77 @@ where
     drop(owned_list);
     let init_time = t_start.elapsed();
 
+    let threads = config.threads.max(1);
     let mem = Arc::new(MemoryStats::new());
-    let mut scheduler = Scheduler::new(
+    let sched: ShardedScheduler<T> = ShardedScheduler::new(
         config.priority.clone(),
         tiling.templates().directions().to_vec(),
+        threads,
         mem.clone(),
     );
     for t in initials {
-        scheduler.mark_initial(t);
+        sched.mark_initial(t);
     }
-    let sched = Mutex::new(scheduler);
     let cv = Condvar::new();
+    let cv_mutex = Mutex::new(()); // park/wake channel, no data under it
     let executed = AtomicU64::new(0);
     let cells = AtomicU64::new(0);
     let edges_local = AtomicU64::new(0);
     let edges_remote = AtomicU64::new(0);
     let edge_cells = AtomicU64::new(0);
     let idle_ns = AtomicU64::new(0);
+    let tiles_per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
     // Group probe coordinates by owning tile for cheap per-tile lookup.
     let probe_by_tile = probe_map(tiling, params, probe);
     let probe_results: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; probe.len()]);
 
-    let threads = config.threads.max(1);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for w in 0..threads {
+            let sched = &sched;
+            let cv = &cv;
+            let cv_mutex = &cv_mutex;
+            let executed = &executed;
+            let cells = &cells;
+            let edges_local = &edges_local;
+            let edges_remote = &edges_remote;
+            let edge_cells = &edge_cells;
+            let idle_ns = &idle_ns;
+            let tiles_per_worker = &tiles_per_worker;
+            let mem = &mem;
+            let probe_by_tile = &probe_by_tile;
+            let probe_results = &probe_results;
+            scope.spawn(move || {
                 let mut point = tiling.make_point(params);
+                let mut batch: Vec<EdgeDelivery<T>> = Vec::new();
                 loop {
-                    // Step 6 of the paper's loop: poll for incoming edges.
+                    // Step 6 of the paper's loop: poll for incoming edges,
+                    // delivered as one shard-grouped batch.
                     while let Some(msg) = transport.try_recv() {
                         let total = tiling.dep_total(&msg.tile, &mut point);
-                        let ready =
-                            sched.lock().deliver_edge(msg.tile, msg.delta, msg.payload, total);
-                        if ready {
+                        batch.push(EdgeDelivery {
+                            tile: msg.tile,
+                            delta: msg.delta,
+                            payload: msg.payload,
+                            total,
+                        });
+                    }
+                    if !batch.is_empty() {
+                        let ready = sched.deliver_batch(w, std::mem::take(&mut batch));
+                        for _ in 0..ready.min(threads) {
                             cv.notify_one();
                         }
                     }
-                    let popped = sched.lock().pop();
-                    let Some((tile, edges)) = popped else {
+                    let Some((tile, edges)) = sched.pop(w) else {
                         if executed.load(Ordering::Acquire) >= owned {
                             break;
                         }
-                        // Nothing ready: wait briefly (re-polling the
-                        // transport on timeout).
+                        // Nothing ready anywhere: wait briefly (re-polling
+                        // the transport on timeout).
                         let t0 = Instant::now();
                         {
-                            let mut guard = sched.lock();
-                            if guard.ready_len() == 0
-                                && executed.load(Ordering::Acquire) < owned
-                            {
+                            let mut guard = cv_mutex.lock();
+                            if sched.ready_len() == 0 && executed.load(Ordering::Acquire) < owned {
                                 cv.wait_for(&mut guard, Duration::from_micros(200));
                             }
                         }
@@ -323,7 +346,9 @@ where
                         }
                     }
 
-                    // --- Step 4: pack each valid outgoing edge. ---
+                    // --- Step 4: pack each valid outgoing edge. Local
+                    // edges accumulate into one batch delivered below;
+                    // remote edges go straight to the transport.
                     for (dep_idx, dep) in tiling.deps().iter().enumerate() {
                         let consumer = tile.sub(&dep.delta);
                         if !tiling.tile_in_space(&consumer, &mut point) {
@@ -340,12 +365,13 @@ where
                         let dest = owner.owner_of(&consumer);
                         if dest == config.rank {
                             let total = tiling.dep_total(&consumer, &mut point);
-                            let ready =
-                                sched.lock().deliver_edge(consumer, dep.delta, payload, total);
                             edges_local.fetch_add(1, Ordering::Relaxed);
-                            if ready {
-                                cv.notify_one();
-                            }
+                            batch.push(EdgeDelivery {
+                                tile: consumer,
+                                delta: dep.delta,
+                                payload,
+                                total,
+                            });
                         } else {
                             edges_remote.fetch_add(1, Ordering::Relaxed);
                             transport.send(
@@ -358,7 +384,12 @@ where
                             );
                         }
                     }
+                    let ready = sched.deliver_batch(w, std::mem::take(&mut batch));
+                    for _ in 0..ready.min(threads) {
+                        cv.notify_one();
+                    }
                     mem.tile_released(layout.size());
+                    tiles_per_worker[w].fetch_add(1, Ordering::Relaxed);
 
                     let done = executed.fetch_add(1, Ordering::AcqRel) + 1;
                     if done >= owned {
@@ -378,6 +409,14 @@ where
         init_time,
         total_time: t_start.elapsed(),
         idle_time: Duration::from_nanos(idle_ns.load(Ordering::Relaxed)),
+        steal_count: sched.steal_count(),
+        steal_fail_count: sched.steal_fail_count(),
+        lock_wait_time: sched.lock_wait(),
+        tiles_per_worker: tiles_per_worker
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
+        peak_pending_tiles: mem.peak_pending_tiles(),
         threads,
         peak_edges: mem.peak_edges(),
         peak_edge_cells: mem.peak_edge_cells(),
@@ -456,8 +495,8 @@ where
 mod tests {
     use super::*;
     use dpgen_polyhedra::{ConstraintSystem, Space};
-    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
     use dpgen_tiling::tiling::CellRef;
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
 
     /// Triangle "counting paths" problem: f(x) = f(x+e1) + f(x+e2), base
     /// case f = 1 on the hypotenuse-adjacent invalid reads.
@@ -472,12 +511,22 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn path_kernel(cell: CellRef<'_>, values: &mut [u64]) {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1
+        };
         values[cell.loc] = a + b;
     }
 
@@ -488,8 +537,8 @@ mod tests {
         for sum in (0..=n).rev() {
             for x in 0..=sum {
                 let y = sum - x;
-                let a = if x + 1 + y <= n { m[&(x + 1, y)] } else { 1 };
-                let b = if x + y + 1 <= n { m[&(x, y + 1)] } else { 1 };
+                let a = if x + y < n { m[&(x + 1, y)] } else { 1 };
+                let b = if x + y < n { m[&(x, y + 1)] } else { 1 };
                 m.insert((x, y), a + b);
             }
         }

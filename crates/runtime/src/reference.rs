@@ -42,11 +42,11 @@ impl<T: Copy> ReferenceResult<T> {
             return None;
         }
         let mut idx = 0i64;
-        for k in 0..x.len() {
-            if x[k] < self.lb[k] || x[k] > self.ub[k] {
+        for (k, &xk) in x.iter().enumerate() {
+            if xk < self.lb[k] || xk > self.ub[k] {
                 return None;
             }
-            idx += self.strides[k] * (x[k] - self.lb[k] + self.pads_lo[k]);
+            idx += self.strides[k] * (xk - self.lb[k] + self.pads_lo[k]);
         }
         Some(idx as usize)
     }
@@ -94,7 +94,9 @@ where
     let mut acc = 1i64;
     for k in (0..d).rev() {
         strides[k] = acc;
-        acc = acc.checked_mul(extents[k]).expect("reference array too large");
+        acc = acc
+            .checked_mul(extents[k])
+            .expect("reference array too large");
     }
     assert!(acc < (1 << 31), "reference array too large ({acc} cells)");
     let size = acc as usize;
@@ -177,12 +179,22 @@ mod tests {
             vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     fn path_kernel(cell: CellRef<'_>, values: &mut [u64]) {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1
+        };
         values[cell.loc] = a + b;
     }
 

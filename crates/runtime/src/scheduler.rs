@@ -14,8 +14,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+/// A popped tile's buffered dependency edges: `(delta, payload)` pairs.
+pub type TileEdges<T> = Vec<(Coord, Vec<T>)>;
+
 struct Pending<T> {
-    edges: Vec<(Coord, Vec<T>)>,
+    edges: TileEdges<T>,
     total: usize,
 }
 
@@ -85,10 +88,16 @@ impl<T> Scheduler<T> {
     ) -> bool {
         debug_assert!(total > 0, "tile with zero deps must use mark_initial");
         self.stats.edge_buffered(payload.len());
-        let entry = self.pending.entry(tile).or_insert_with(|| Pending {
-            edges: Vec::with_capacity(total),
-            total,
-        });
+        let entry = match self.pending.entry(tile) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.stats.tile_pending();
+                v.insert(Pending {
+                    edges: Vec::with_capacity(total),
+                    total,
+                })
+            }
+        };
         debug_assert_eq!(entry.total, total, "inconsistent dependency totals");
         debug_assert!(
             !entry.edges.iter().any(|(d, _)| *d == delta),
@@ -97,6 +106,7 @@ impl<T> Scheduler<T> {
         entry.edges.push((delta, payload));
         if entry.edges.len() == entry.total {
             let pending = self.pending.remove(&tile).unwrap();
+            self.stats.tile_unpended();
             self.push_ready(tile, pending.edges);
             true
         } else {
@@ -105,7 +115,7 @@ impl<T> Scheduler<T> {
     }
 
     /// Pop the highest-priority ready tile with its buffered edges.
-    pub fn pop(&mut self) -> Option<(Coord, Vec<(Coord, Vec<T>)>)> {
+    pub fn pop(&mut self) -> Option<(Coord, TileEdges<T>)> {
         let Reverse(entry) = self.ready.pop()?;
         let edges = self
             .ready_edges

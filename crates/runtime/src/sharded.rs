@@ -1,0 +1,557 @@
+//! The sharded, work-stealing tile scheduler.
+//!
+//! [`crate::scheduler::Scheduler`] is correct but serializes every pop and
+//! every edge delivery through one external lock — exactly the contention
+//! the paper's Section VII-C warns about for large core counts. This module
+//! replaces it on the node runtime's hot path with three ideas:
+//!
+//! 1. **Per-worker ready deques.** Each worker owns a priority queue of
+//!    ready tiles. Tiles a worker makes ready go to its own queue (locality:
+//!    the producing worker just touched the neighbouring tile's edges), so
+//!    an executing worker usually pops from a lock nobody else wants. When
+//!    its queue is empty it *steals* from the richest other queue, chosen by
+//!    cheap atomic length counters.
+//! 2. **A sharded pending table.** The `Coord → buffered edges` map is
+//!    split into `8 × workers` shards (rounded up to a power of two, at
+//!    least 16) by a multiplicative hash of the tile coordinates; concurrent
+//!    deliveries to different tiles almost never share a lock.
+//! 3. **Batched delivery.** A worker accumulates the outgoing local edges
+//!    of the tile it just executed and delivers them grouped by shard — one
+//!    lock acquisition per shard per batch instead of one per edge.
+//!
+//! Priority ordering consequently becomes *best-effort per worker*: each
+//! queue pops in true priority order, but a stolen tile may run before a
+//! better-priority tile in a busy queue. The paper's priority is itself
+//! only a memory/communication heuristic (Section V-B), so results are
+//! unchanged — every tile still executes exactly once, after all of its
+//! dependencies (see `tests/scheduler_invariants.rs`).
+//!
+//! Contention is observable: the scheduler counts steals, failed steals
+//! (the length counter raced to empty) and the time spent *waiting* for
+//! contended locks (a `try_lock` that succeeds costs nothing).
+
+use crate::memory::MemoryStats;
+use crate::priority::TilePriority;
+use crate::scheduler::TileEdges;
+use dpgen_tiling::{Coord, Direction};
+use parking_lot::{Mutex, MutexGuard};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One local edge delivery, buffered by a worker while it packs the tile it
+/// just executed and handed to [`ShardedScheduler::deliver_batch`].
+pub struct EdgeDelivery<T> {
+    /// The consumer tile.
+    pub tile: Coord,
+    /// The dependency offset this edge satisfies.
+    pub delta: Coord,
+    /// Packed boundary cells.
+    pub payload: Vec<T>,
+    /// The consumer's full dependency count.
+    pub total: usize,
+}
+
+struct Pending<T> {
+    edges: Vec<(Coord, Vec<T>)>,
+    total: usize,
+}
+
+/// A ready tile carrying its buffered edges (min-heap via `Reverse`).
+struct ReadyTile<T> {
+    key: Vec<i64>,
+    tile: Coord,
+    edges: Vec<(Coord, Vec<T>)>,
+}
+
+impl<T> PartialEq for ReadyTile<T> {
+    fn eq(&self, other: &ReadyTile<T>) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<T> Eq for ReadyTile<T> {}
+
+impl<T> Ord for ReadyTile<T> {
+    fn cmp(&self, other: &ReadyTile<T>) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> PartialOrd for ReadyTile<T> {
+    fn partial_cmp(&self, other: &ReadyTile<T>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct WorkerQueue<T> {
+    heap: Mutex<BinaryHeap<Reverse<ReadyTile<T>>>>,
+    /// Mirror of `heap.len()`, readable without the lock (steal victim
+    /// selection and the idle-wait check).
+    len: AtomicUsize,
+}
+
+/// Sharded work-stealing scheduler; all methods take `&self`.
+pub struct ShardedScheduler<T> {
+    priority: TilePriority,
+    directions: Vec<Direction>,
+    shards: Vec<Mutex<HashMap<Coord, Pending<T>>>>,
+    shard_mask: u64,
+    queues: Vec<WorkerQueue<T>>,
+    seq: AtomicU64,
+    stats: Arc<MemoryStats>,
+    steals: AtomicU64,
+    steal_fails: AtomicU64,
+    lock_wait_ns: AtomicU64,
+}
+
+fn hash_coord(tile: &Coord) -> u64 {
+    // Same multiplicative mix as Coord's Hash (see groups.rs).
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h: u64 = tile.dims() as u64;
+    for &v in tile.as_slice() {
+        h = (h.rotate_left(5) ^ (v as u64)).wrapping_mul(K);
+    }
+    h
+}
+
+impl<T> ShardedScheduler<T> {
+    /// New scheduler for `workers` threads. The pending table gets
+    /// `8 × workers` shards rounded up to a power of two (minimum 16): with
+    /// a uniform hash, the probability that two of `w` simultaneous
+    /// deliveries share a shard stays below `w²/(2·8w) ≈ 6%` per batch.
+    pub fn new(
+        priority: TilePriority,
+        directions: Vec<Direction>,
+        workers: usize,
+        stats: Arc<MemoryStats>,
+    ) -> ShardedScheduler<T> {
+        let workers = workers.max(1);
+        let shard_count = (workers * 8).next_power_of_two().max(16);
+        ShardedScheduler {
+            priority,
+            directions,
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shard_mask: shard_count as u64 - 1,
+            queues: (0..workers)
+                .map(|_| WorkerQueue {
+                    heap: Mutex::new(BinaryHeap::new()),
+                    len: AtomicUsize::new(0),
+                })
+                .collect(),
+            seq: AtomicU64::new(0),
+            stats,
+            steals: AtomicU64::new(0),
+            steal_fails: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of pending-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, tile: &Coord) -> usize {
+        (hash_coord(tile) & self.shard_mask) as usize
+    }
+
+    /// Lock `m`, charging any wait (the lock was contended) to
+    /// `lock_wait_ns`.
+    fn timed_lock<'a, U>(&self, m: &'a Mutex<U>) -> MutexGuard<'a, U> {
+        if let Some(g) = m.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = m.lock();
+        self.lock_wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    fn push_ready(&self, worker: usize, entry: ReadyTile<T>) {
+        let q = &self.queues[worker];
+        self.timed_lock(&q.heap).push(Reverse(entry));
+        q.len.fetch_add(1, Ordering::Release);
+    }
+
+    fn make_ready(&self, tile: Coord, edges: Vec<(Coord, Vec<T>)>) -> ReadyTile<T> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let key = self.priority.key(&tile, &self.directions, seq);
+        ReadyTile { key, tile, edges }
+    }
+
+    /// Enqueue a tile with no dependencies (Section IV-K). Initial tiles
+    /// are spread round-robin over the worker queues.
+    pub fn mark_initial(&self, tile: Coord) {
+        let entry = self.make_ready(tile, Vec::new());
+        let worker = (self.seq.load(Ordering::Relaxed) % self.queues.len() as u64) as usize;
+        self.push_ready(worker, entry);
+    }
+
+    /// Apply one delivery to an already-locked shard; `Some(edges)` when it
+    /// completed the tile's dependency set.
+    fn deliver_into(
+        &self,
+        map: &mut HashMap<Coord, Pending<T>>,
+        tile: Coord,
+        delta: Coord,
+        payload: Vec<T>,
+        total: usize,
+    ) -> Option<Vec<(Coord, Vec<T>)>> {
+        debug_assert!(total > 0, "tile with zero deps must use mark_initial");
+        self.stats.edge_buffered(payload.len());
+        let entry = match map.entry(tile) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => {
+                self.stats.tile_pending();
+                v.insert(Pending {
+                    edges: Vec::with_capacity(total),
+                    total,
+                })
+            }
+        };
+        debug_assert_eq!(entry.total, total, "inconsistent dependency totals");
+        debug_assert!(
+            !entry.edges.iter().any(|(d, _)| *d == delta),
+            "duplicate edge {delta} for tile {tile}"
+        );
+        entry.edges.push((delta, payload));
+        if entry.edges.len() == entry.total {
+            let pending = map.remove(&tile).unwrap();
+            self.stats.tile_unpended();
+            Some(pending.edges)
+        } else {
+            None
+        }
+    }
+
+    /// Record a single incoming edge (the transport receive path). Newly
+    /// ready tiles go to `worker`'s queue. Returns `true` when this edge
+    /// made the tile ready.
+    pub fn deliver_edge(
+        &self,
+        worker: usize,
+        tile: Coord,
+        delta: Coord,
+        payload: Vec<T>,
+        total: usize,
+    ) -> bool {
+        let done = {
+            let mut shard = self.timed_lock(&self.shards[self.shard_of(&tile)]);
+            self.deliver_into(&mut shard, tile, delta, payload, total)
+        };
+        match done {
+            Some(edges) => {
+                let entry = self.make_ready(tile, edges);
+                self.push_ready(worker, entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deliver a batch of local edges, acquiring each shard's lock once per
+    /// batch. Newly ready tiles go to `worker`'s own queue. Returns how
+    /// many tiles became ready.
+    pub fn deliver_batch(&self, worker: usize, batch: Vec<EdgeDelivery<T>>) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        // Group by shard so each lock round-trip covers every edge bound
+        // for that shard. Batches are tiny (one per dependency template),
+        // so a sort beats any bucketing structure.
+        let mut items: Vec<(usize, EdgeDelivery<T>)> = batch
+            .into_iter()
+            .map(|e| (self.shard_of(&e.tile), e))
+            .collect();
+        items.sort_by_key(|(s, _)| *s);
+        let mut newly_ready = 0usize;
+        let mut it = items.into_iter().peekable();
+        while let Some((shard_idx, first)) = it.next() {
+            let mut ready: Vec<ReadyTile<T>> = Vec::new();
+            {
+                let mut shard = self.timed_lock(&self.shards[shard_idx]);
+                let mut deliver = |e: EdgeDelivery<T>, shard: &mut HashMap<Coord, Pending<T>>| {
+                    if let Some(edges) =
+                        self.deliver_into(shard, e.tile, e.delta, e.payload, e.total)
+                    {
+                        ready.push(self.make_ready(e.tile, edges));
+                    }
+                };
+                deliver(first, &mut shard);
+                while it.peek().map(|(s, _)| *s) == Some(shard_idx) {
+                    let (_, e) = it.next().unwrap();
+                    deliver(e, &mut shard);
+                }
+            }
+            // Queue pushes happen after the shard lock is dropped so the
+            // scheduler never holds two locks at once.
+            newly_ready += ready.len();
+            for entry in ready {
+                self.push_ready(worker, entry);
+            }
+        }
+        newly_ready
+    }
+
+    fn pop_from(&self, queue: usize) -> Option<ReadyTile<T>> {
+        let q = &self.queues[queue];
+        if q.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut heap = self.timed_lock(&q.heap);
+        let got = heap.pop();
+        if got.is_some() {
+            q.len.fetch_sub(1, Ordering::Release);
+        }
+        got.map(|Reverse(t)| t)
+    }
+
+    /// Steal the best tile from the richest other queue (by the racy
+    /// length counters). A victim that raced to empty counts as a failed
+    /// steal; the caller simply retries its loop.
+    fn steal(&self, worker: usize) -> Option<ReadyTile<T>> {
+        if self.queues.len() <= 1 {
+            return None;
+        }
+        let mut victim = None;
+        let mut best = 0usize;
+        for (i, q) in self.queues.iter().enumerate() {
+            if i == worker {
+                continue;
+            }
+            let len = q.len.load(Ordering::Acquire);
+            if len > best {
+                best = len;
+                victim = Some(i);
+            }
+        }
+        let v = victim?;
+        match self.pop_from(v) {
+            Some(t) => {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                Some(t)
+            }
+            None => {
+                self.steal_fails.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Pop the next tile for `worker`: its own queue first, then a steal
+    /// from the richest other queue.
+    pub fn pop(&self, worker: usize) -> Option<(Coord, TileEdges<T>)> {
+        let entry = self.pop_from(worker).or_else(|| self.steal(worker))?;
+        for (_, payload) in &entry.edges {
+            self.stats.edge_consumed(payload.len());
+        }
+        Some((entry.tile, entry.edges))
+    }
+
+    /// Total ready tiles across all queues (approximate under concurrency).
+    pub fn ready_len(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.len.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Total pending (partially satisfied) tiles across all shards.
+    pub fn pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Shared memory counters.
+    pub fn stats(&self) -> &Arc<MemoryStats> {
+        &self.stats
+    }
+
+    /// Successful steals so far.
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Steal attempts that found the victim already empty.
+    pub fn steal_fail_count(&self) -> u64 {
+        self.steal_fails.load(Ordering::Relaxed)
+    }
+
+    /// Summed time workers spent blocked on contended scheduler locks.
+    pub fn lock_wait(&self) -> Duration {
+        Duration::from_nanos(self.lock_wait_ns.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(priority: TilePriority, workers: usize) -> ShardedScheduler<f64> {
+        ShardedScheduler::new(
+            priority,
+            vec![Direction::Ascending, Direction::Ascending],
+            workers,
+            Arc::new(MemoryStats::new()),
+        )
+    }
+
+    fn c(v: &[i64]) -> Coord {
+        Coord::from_slice(v)
+    }
+
+    #[test]
+    fn single_worker_pops_in_priority_order() {
+        let s = sched(TilePriority::column_major(2), 1);
+        s.mark_initial(c(&[2, 0]));
+        s.mark_initial(c(&[0, 1]));
+        s.mark_initial(c(&[0, 0]));
+        assert_eq!(s.ready_len(), 3);
+        assert_eq!(s.pop(0).unwrap().0, c(&[0, 0]));
+        assert_eq!(s.pop(0).unwrap().0, c(&[0, 1]));
+        assert_eq!(s.pop(0).unwrap().0, c(&[2, 0]));
+        assert!(s.pop(0).is_none());
+        assert_eq!(s.steal_count(), 0);
+    }
+
+    #[test]
+    fn batch_delivery_readies_tiles() {
+        let s = sched(TilePriority::Fifo, 2);
+        let t = c(&[1, 1]);
+        let made_ready = s.deliver_batch(
+            0,
+            vec![
+                EdgeDelivery {
+                    tile: t,
+                    delta: c(&[-1, 0]),
+                    payload: vec![1.0, 2.0],
+                    total: 2,
+                },
+                EdgeDelivery {
+                    tile: t,
+                    delta: c(&[0, -1]),
+                    payload: vec![3.0],
+                    total: 2,
+                },
+            ],
+        );
+        assert_eq!(made_ready, 1);
+        assert_eq!(s.pending_len(), 0);
+        let (tile, edges) = s.pop(0).unwrap();
+        assert_eq!(tile, t);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(s.stats().current_edges(), 0);
+    }
+
+    #[test]
+    fn partial_batch_stays_pending() {
+        let s = sched(TilePriority::Fifo, 1);
+        let made_ready = s.deliver_batch(
+            0,
+            vec![EdgeDelivery {
+                tile: c(&[1, 1]),
+                delta: c(&[-1, 0]),
+                payload: vec![],
+                total: 2,
+            }],
+        );
+        assert_eq!(made_ready, 0);
+        assert_eq!(s.pending_len(), 1);
+        assert!(s.pop(0).is_none());
+        assert_eq!(s.stats().current_pending_tiles(), 1);
+    }
+
+    #[test]
+    fn empty_worker_steals_from_richest() {
+        let s = sched(TilePriority::Fifo, 2);
+        // Deliveries from worker 0 land in worker 0's queue.
+        assert!(s.deliver_edge(0, c(&[1, 0]), c(&[-1, 0]), vec![1.0], 1));
+        assert!(s.deliver_edge(0, c(&[2, 0]), c(&[-1, 0]), vec![2.0], 1));
+        // Worker 1 has nothing local: both pops are steals.
+        assert!(s.pop(1).is_some());
+        assert!(s.pop(1).is_some());
+        assert_eq!(s.steal_count(), 2);
+        assert!(s.pop(1).is_none());
+        assert_eq!(s.ready_len(), 0);
+    }
+
+    #[test]
+    fn memory_stats_follow_edge_lifecycle() {
+        let stats = Arc::new(MemoryStats::new());
+        let s: ShardedScheduler<f64> = ShardedScheduler::new(
+            TilePriority::Fifo,
+            vec![Direction::Ascending],
+            1,
+            stats.clone(),
+        );
+        s.deliver_edge(0, c(&[1]), c(&[-1]), vec![0.0; 5], 1);
+        assert_eq!(stats.peak_edge_cells(), 5);
+        assert_eq!(stats.current_edges(), 1);
+        s.pop(0).unwrap();
+        assert_eq!(stats.current_edges(), 0);
+        assert_eq!(stats.peak_edge_cells(), 5);
+    }
+
+    #[test]
+    fn shard_count_scales_with_workers() {
+        assert_eq!(sched(TilePriority::Fifo, 1).shard_count(), 16);
+        assert_eq!(sched(TilePriority::Fifo, 4).shard_count(), 32);
+        assert_eq!(sched(TilePriority::Fifo, 24).shard_count(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    #[cfg(debug_assertions)]
+    fn duplicate_edge_is_detected() {
+        let s = sched(TilePriority::Fifo, 1);
+        s.deliver_edge(0, c(&[1, 0]), c(&[-1, 0]), vec![], 2);
+        s.deliver_edge(0, c(&[1, 0]), c(&[-1, 0]), vec![], 2);
+    }
+
+    #[test]
+    fn concurrent_delivery_and_popping_conserves_tiles() {
+        // 4 producers each deliver disjoint single-dep tiles; 4 consumers
+        // pop everything. Every tile must surface exactly once.
+        let s = Arc::new(sched(TilePriority::LevelSet, 4));
+        let popped = Arc::new(AtomicU64::new(0));
+        const PER: i64 = 200;
+        std::thread::scope(|scope| {
+            for w in 0..4usize {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        s.deliver_edge(w, c(&[w as i64, i]), c(&[0, -1]), vec![1.0], 1);
+                    }
+                });
+            }
+            for w in 0..4usize {
+                let s = s.clone();
+                let popped = popped.clone();
+                scope.spawn(move || loop {
+                    if s.pop(w).is_some() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    } else if popped.load(Ordering::Relaxed) == 4 * PER as u64 {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 4 * PER as u64);
+        assert_eq!(s.ready_len(), 0);
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.stats().current_edges(), 0);
+    }
+}

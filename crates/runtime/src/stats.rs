@@ -24,6 +24,19 @@ pub struct RunStats {
     pub total_time: Duration,
     /// Summed worker wait time (idle in the scheduler loop).
     pub idle_time: Duration,
+    /// Successful work steals (a worker popped from another worker's ready
+    /// queue because its own was empty).
+    pub steal_count: u64,
+    /// Steal attempts that found the chosen victim queue already empty.
+    pub steal_fail_count: u64,
+    /// Summed time workers spent blocked on contended scheduler locks
+    /// (uncontended acquisitions cost nothing).
+    pub lock_wait_time: Duration,
+    /// Tiles executed by each worker, indexed by worker id (the per-worker
+    /// load histogram; empty for runners that don't track it).
+    pub tiles_per_worker: Vec<u64>,
+    /// Peak simultaneously pending tiles in the scheduler's table.
+    pub peak_pending_tiles: i64,
     /// Number of worker threads used.
     pub threads: usize,
     /// Peak number of simultaneously buffered edges.
@@ -52,6 +65,37 @@ impl RunStats {
         }
         self.idle_time.as_secs_f64() / (self.total_time.as_secs_f64() * self.threads as f64)
     }
+
+    /// Fraction of tiles that were obtained by stealing.
+    pub fn steal_fraction(&self) -> f64 {
+        if self.tiles_executed == 0 {
+            return 0.0;
+        }
+        self.steal_count as f64 / self.tiles_executed as f64
+    }
+
+    /// Mean lock-wait fraction per worker.
+    pub fn lock_wait_fraction(&self) -> f64 {
+        if self.total_time.is_zero() || self.threads == 0 {
+            return 0.0;
+        }
+        self.lock_wait_time.as_secs_f64() / (self.total_time.as_secs_f64() * self.threads as f64)
+    }
+
+    /// Load imbalance across workers: max over mean of `tiles_per_worker`
+    /// (1.0 = perfectly even; 0.0 when the histogram is empty).
+    pub fn worker_imbalance(&self) -> f64 {
+        let n = self.tiles_per_worker.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.tiles_per_worker.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = *self.tiles_per_worker.iter().max().unwrap() as f64;
+        max / (total as f64 / n as f64)
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +116,25 @@ mod tests {
         let z = RunStats::default();
         assert_eq!(z.init_fraction(), 0.0);
         assert_eq!(z.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn contention_metrics() {
+        let s = RunStats {
+            tiles_executed: 100,
+            steal_count: 25,
+            lock_wait_time: Duration::from_millis(100),
+            total_time: Duration::from_millis(1000),
+            threads: 4,
+            tiles_per_worker: vec![40, 20, 20, 20],
+            ..Default::default()
+        };
+        assert!((s.steal_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.lock_wait_fraction() - 0.025).abs() < 1e-12);
+        assert!((s.worker_imbalance() - 1.6).abs() < 1e-12);
+        let z = RunStats::default();
+        assert_eq!(z.steal_fraction(), 0.0);
+        assert_eq!(z.lock_wait_fraction(), 0.0);
+        assert_eq!(z.worker_imbalance(), 0.0);
     }
 }

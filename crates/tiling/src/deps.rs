@@ -38,7 +38,9 @@ pub fn derive_tile_deps(templates: &TemplateSet, widths: &[i64]) -> Vec<TileDep>
     assert_eq!(widths.len(), d);
     let mut map: std::collections::BTreeMap<Coord, Vec<usize>> = std::collections::BTreeMap::new();
     for (j, t) in templates.templates().iter().enumerate() {
-        let ranges: Vec<(i64, i64)> = (0..d).map(|k| delta_range(t.offset[k], widths[k])).collect();
+        let ranges: Vec<(i64, i64)> = (0..d)
+            .map(|k| delta_range(t.offset[k], widths[k]))
+            .collect();
         // Enumerate the cartesian product of the per-dimension ranges.
         let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
         'outer: loop {
@@ -103,10 +105,7 @@ mod tests {
         // Template ⟨1,1⟩ ⇒ deps on ⟨1,0⟩, ⟨1,1⟩, ⟨0,1⟩ (Section IV-F).
         let set = TemplateSet::new(2, vec![Template::new("r", &[1, 1])]).unwrap();
         let deps = derive_tile_deps(&set, &[4, 4]);
-        assert_eq!(
-            deltas(&deps),
-            vec![vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(deltas(&deps), vec![vec![0, 1], vec![1, 0], vec![1, 1]]);
         assert!(deps.iter().all(|d| d.templates == vec![0]));
     }
 
@@ -137,10 +136,7 @@ mod tests {
     fn templates_sharing_a_delta_are_merged() {
         let set = TemplateSet::new(
             2,
-            vec![
-                Template::new("a", &[1, 0]),
-                Template::new("b", &[2, 0]),
-            ],
+            vec![Template::new("a", &[1, 0]), Template::new("b", &[2, 0])],
         )
         .unwrap();
         let deps = derive_tile_deps(&set, &[4, 4]);
@@ -161,10 +157,7 @@ mod tests {
         // LCS-style ⟨-1,-1⟩ with w = 3 depends on ⟨-1,-1⟩, ⟨-1,0⟩, ⟨0,-1⟩.
         let set = TemplateSet::new(2, vec![Template::new("r", &[-1, -1])]).unwrap();
         let deps = derive_tile_deps(&set, &[3, 3]);
-        assert_eq!(
-            deltas(&deps),
-            vec![vec![-1, -1], vec![-1, 0], vec![0, -1]]
-        );
+        assert_eq!(deltas(&deps), vec![vec![-1, -1], vec![-1, 0], vec![0, -1]]);
     }
 
     #[test]

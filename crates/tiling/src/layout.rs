@@ -52,11 +52,7 @@ impl TileLayout {
         let template_offsets = templates
             .templates()
             .iter()
-            .map(|t| {
-                (0..d)
-                    .map(|k| strides[k] * t.offset[k])
-                    .sum::<i64>()
-            })
+            .map(|t| (0..d).map(|k| strides[k] * t.offset[k]).sum::<i64>())
             .collect();
         TileLayout {
             widths: widths.to_vec(),

@@ -54,7 +54,11 @@ pub struct TemplateSet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TemplateError {
     /// A template's dimension does not match the problem's.
-    DimMismatch { name: String, expected: usize, found: usize },
+    DimMismatch {
+        name: String,
+        expected: usize,
+        found: usize,
+    },
     /// Two templates share a name.
     DuplicateName(String),
     /// One dimension has both positive and negative template components.
@@ -69,7 +73,11 @@ pub enum TemplateError {
 impl fmt::Display for TemplateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TemplateError::DimMismatch { name, expected, found } => write!(
+            TemplateError::DimMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "template `{name}` has {found} components, problem has {expected} dimensions"
             ),
@@ -83,7 +91,10 @@ impl fmt::Display for TemplateError {
                 write!(f, "template `{n}` is the zero vector (self-dependence)")
             }
             TemplateError::TooManyDims(d) => {
-                write!(f, "{d} dimensions exceed the supported maximum of {MAX_DIMS}")
+                write!(
+                    f,
+                    "{d} dimensions exceed the supported maximum of {MAX_DIMS}"
+                )
             }
         }
     }
@@ -228,10 +239,7 @@ mod tests {
     fn mixed_signs_rejected() {
         let err = TemplateSet::new(
             2,
-            vec![
-                Template::new("a", &[1, 0]),
-                Template::new("b", &[-1, 0]),
-            ],
+            vec![Template::new("a", &[1, 0]), Template::new("b", &[-1, 0])],
         )
         .unwrap_err();
         assert_eq!(err, TemplateError::MixedSigns { dim: 0 });
@@ -245,11 +253,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = TemplateSet::new(
-            1,
-            vec![Template::new("r", &[1]), Template::new("r", &[2])],
-        )
-        .unwrap_err();
+        let err = TemplateSet::new(1, vec![Template::new("r", &[1]), Template::new("r", &[2])])
+            .unwrap_err();
         assert_eq!(err, TemplateError::DuplicateName("r".into()));
     }
 
@@ -263,10 +268,7 @@ mod tests {
     fn paddings_per_dimension() {
         let set = TemplateSet::new(
             2,
-            vec![
-                Template::new("a", &[2, 0]),
-                Template::new("b", &[1, 3]),
-            ],
+            vec![Template::new("a", &[2, 0]), Template::new("b", &[1, 3])],
         )
         .unwrap();
         assert_eq!(set.max_positive(0), 2);
@@ -279,6 +281,9 @@ mod tests {
     fn empty_set_allowed() {
         let set = TemplateSet::new(2, vec![]).unwrap();
         assert!(set.is_empty());
-        assert_eq!(set.directions(), &[Direction::Descending, Direction::Descending]);
+        assert_eq!(
+            set.directions(),
+            &[Direction::Descending, Direction::Descending]
+        );
     }
 }

@@ -7,9 +7,7 @@ use crate::deps::{derive_tile_deps, TileDep};
 use crate::edges::{build_edge_layouts, EdgeLayout};
 use crate::layout::TileLayout;
 use crate::template::{Direction, TemplateError, TemplateSet};
-use dpgen_polyhedra::{
-    Constraint, ConstraintSystem, LinExpr, LoopNest, PolyError, Space, VarKind,
-};
+use dpgen_polyhedra::{Constraint, ConstraintSystem, LinExpr, LoopNest, PolyError, Space, VarKind};
 use std::fmt;
 
 /// Errors from tiling construction.
@@ -59,7 +57,11 @@ impl TilingBuilder {
     /// Start from the problem's iteration space (variables = the `x_k`,
     /// parameters marked as such in the space), its validated template set
     /// and the tile widths `w_k` (one per dimension).
-    pub fn new(system: ConstraintSystem, templates: TemplateSet, widths: Vec<i64>) -> TilingBuilder {
+    pub fn new(
+        system: ConstraintSystem,
+        templates: TemplateSet,
+        widths: Vec<i64>,
+    ) -> TilingBuilder {
         TilingBuilder {
             system,
             templates,
@@ -249,7 +251,8 @@ impl Tiling {
         // --- Tile dependencies, layout, edges ---------------------------
         let deps = derive_tile_deps(&templates, &widths);
         let layout = TileLayout::new(&widths, &templates);
-        let edges = build_edge_layouts(&local_system, &i_cols, &i_order, &widths, &templates, &deps)?;
+        let edges =
+            build_edge_layouts(&local_system, &i_cols, &i_order, &widths, &templates, &deps)?;
 
         // --- Validity functions (Section IV-G) --------------------------
         // Template j needs constraint c checked iff adding r_j can violate
@@ -411,7 +414,11 @@ impl Tiling {
 
     /// Allocate a full extended-space point with the parameters bound.
     pub fn make_point(&self, params: &[i64]) -> Vec<i128> {
-        assert_eq!(params.len(), self.param_cols.len(), "parameter arity mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_cols.len(),
+            "parameter arity mismatch"
+        );
         let mut point = vec![0i128; self.ext_space.dim()];
         for (col, &v) in self.param_cols.iter().zip(params) {
             point[*col] = v as i128;
@@ -464,7 +471,9 @@ impl Tiling {
     /// Number of cells in one tile.
     pub fn tile_cell_count(&self, tile: &Coord, point: &mut [i128]) -> u128 {
         self.set_tile(tile, point);
-        self.local_nest.count(point).expect("tile cell count failed")
+        self.local_nest
+            .count(point)
+            .expect("tile cell count failed")
     }
 
     /// Total number of cells in the whole iteration space (original space;
@@ -475,7 +484,9 @@ impl Tiling {
         for (k, &p) in self.original.space().param_indices().iter().zip(params) {
             point[*k] = p as i128;
         }
-        self.original_nest.count(&mut point).expect("total cell count failed")
+        self.original_nest
+            .count(&mut point)
+            .expect("total cell count failed")
     }
 
     /// Execute the center-loop scan over one tile: visit every cell in a
@@ -504,26 +515,27 @@ impl Tiling {
         assert!(ntemplates <= MAX_DIMS * 4, "too many templates");
         assert!(checks.len() <= MAX_DIMS * 4, "too many validity checks");
         let tile_vals = tile.as_slice();
-        self.local_nest.for_each_point_directed(point, &self.local_desc, |p| {
-            for k in 0..d {
-                local[k] = p[i_cols[k]] as i64;
-                x[k] = local[k] + widths[k] * tile_vals[k];
-            }
-            for (ci, check) in checks.iter().enumerate() {
-                check_vals[ci] = check.eval(p).expect("validity evaluation failed") >= 0;
-            }
-            for (j, idxs) in per_template.iter().enumerate() {
-                valid[j] = idxs.iter().all(|&ci| check_vals[ci]);
-            }
-            let loc = layout.loc(&local[..d]);
-            f(CellRef {
-                loc,
-                x: &x[..d],
-                local: &local[..d],
-                valid: &valid[..ntemplates],
-                offsets,
-            });
-        })
+        self.local_nest
+            .for_each_point_directed(point, &self.local_desc, |p| {
+                for k in 0..d {
+                    local[k] = p[i_cols[k]] as i64;
+                    x[k] = local[k] + widths[k] * tile_vals[k];
+                }
+                for (ci, check) in checks.iter().enumerate() {
+                    check_vals[ci] = check.eval(p).expect("validity evaluation failed") >= 0;
+                }
+                for (j, idxs) in per_template.iter().enumerate() {
+                    valid[j] = idxs.iter().all(|&ci| check_vals[ci]);
+                }
+                let loc = layout.loc(&local[..d]);
+                f(CellRef {
+                    loc,
+                    x: &x[..d],
+                    local: &local[..d],
+                    valid: &valid[..ntemplates],
+                    offsets,
+                });
+            })
     }
 }
 
@@ -542,21 +554,20 @@ mod tests {
         sys.add_text("x + y <= N").unwrap();
         let templates = TemplateSet::new(
             2,
-            vec![
-                Template::new("r1", &[1, 0]),
-                Template::new("r2", &[0, 1]),
-            ],
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
         )
         .unwrap();
-        TilingBuilder::new(sys, templates, vec![w, w]).build().unwrap()
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn tile_space_membership() {
         let tiling = triangle_tiling(4);
         let mut point = tiling.make_point(&[10]); // N = 10: x, y in [0, 10]
-        // Tiles (0,0) .. (2,2): tile (tx, ty) valid iff it contains a point
-        // with 4tx + 4ty <= 10, i.e. tx + ty <= 2 (since local origin).
+                                                  // Tiles (0,0) .. (2,2): tile (tx, ty) valid iff it contains a point
+                                                  // with 4tx + 4ty <= 10, i.e. tx + ty <= 2 (since local origin).
         assert!(tiling.tile_in_space(&Coord::from_slice(&[0, 0]), &mut point));
         assert!(tiling.tile_in_space(&Coord::from_slice(&[2, 0]), &mut point));
         assert!(tiling.tile_in_space(&Coord::from_slice(&[1, 1]), &mut point));
@@ -625,7 +636,7 @@ mod tests {
                 let (x, y) = (cell.x[0], cell.x[1]);
                 // r1 = +e_x valid iff (x+1) + y <= N.
                 assert_eq!(cell.valid[0], x + 1 + y <= n, "r1 at ({x},{y})");
-                assert_eq!(cell.valid[1], x + y + 1 <= n, "r2 at ({x},{y})");
+                assert_eq!(cell.valid[1], x + y < n, "r2 at ({x},{y})");
             })
             .unwrap();
     }
@@ -634,7 +645,7 @@ mod tests {
     fn dep_total_counts_valid_neighbours() {
         let tiling = triangle_tiling(4);
         let mut point = tiling.make_point(&[10]); // tiles: tx + ty <= 2
-        // Corner tile (2,0): neighbours (3,0) and (2,1) are outside -> 0 deps.
+                                                  // Corner tile (2,0): neighbours (3,0) and (2,1) are outside -> 0 deps.
         assert_eq!(tiling.dep_total(&Coord::from_slice(&[2, 0]), &mut point), 0);
         // Tile (1,1): neighbour (2,1) invalid, (1,2) invalid -> 0 deps? No:
         // (1,1)+(1,0)=(2,1) invalid; (1,1)+(0,1)=(1,2) invalid. 0 deps.

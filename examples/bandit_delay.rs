@@ -26,18 +26,20 @@ fn main() {
         tiling.deps().len()
     );
     for dep in tiling.deps() {
-        println!("  tile dep δ = {} from templates {:?}", dep.delta, dep.templates);
+        println!(
+            "  tile dep δ = {} from templates {:?}",
+            dep.delta, dep.templates
+        );
     }
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let result = program.run_shared::<f64, _>(
-        &[n],
-        &problem.kernel(),
-        &Probe::at(&[0; 6]),
-        threads,
-    );
+    let result =
+        program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), threads);
     let v = result.probes[0].expect("origin inside space");
-    println!("V(0) with N = {n}: {v:.5} (uniform priors; fixed play earns {:.1})", n as f64 / 2.0);
+    println!(
+        "V(0) with N = {n}: {v:.5} (uniform priors; fixed play earns {:.1})",
+        n as f64 / 2.0
+    );
     println!(
         "  {} cells, {} tiles, {:?} on {threads} threads",
         result.stats.cells_computed, result.stats.tiles_executed, result.stats.total_time

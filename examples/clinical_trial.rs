@@ -46,8 +46,11 @@ fn main() {
     println!("adaptive trial with N = {n} patients, {ranks} nodes x {threads} threads");
     println!("  optimal adaptive expected successes V(0) = {v:.4}");
     println!("  best fixed allocation expected successes = {fixed:.4}");
-    println!("  adaptive advantage = {:.4} successes ({:.2}%)",
-        v - fixed, 100.0 * (v - fixed) / fixed);
+    println!(
+        "  adaptive advantage = {:.4} successes ({:.2}%)",
+        v - fixed,
+        100.0 * (v - fixed) / fixed
+    );
     println!(
         "  cells computed: {}, remote edges: {}, interconnect bytes: {}",
         result.cells_computed(),

@@ -33,7 +33,10 @@ fn main() {
     // Pairwise LCS upper-bounds the 3-way LCS.
     let lab = Lcs::new(&[&a, &b]);
     let pair = program_pair(&lab, threads);
-    println!("  pairwise LCS(a, b) = {pair} (upper bound, as expected: {})", lcs_len <= pair);
+    println!(
+        "  pairwise LCS(a, b) = {pair} (upper bound, as expected: {})",
+        lcs_len <= pair
+    );
 }
 
 fn program_pair(problem: &Lcs, threads: usize) -> i64 {

@@ -93,7 +93,10 @@ fn main() {
     // Sanity: stripping gaps recovers the inputs.
     for k in 0..3 {
         let stripped: Vec<u8> = rows[k].bytes().filter(|&c| c != b'-').collect();
-        assert_eq!(stripped, seqs[k], "alignment row {k} must spell sequence {k}");
+        assert_eq!(
+            stripped, seqs[k],
+            "alignment row {k} must spell sequence {k}"
+        );
     }
     println!("verified: every row spells its sequence.");
 }

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks in this workspace use `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input` and `Bencher::iter`. This shim
+//! keeps those entry points compiling and running offline: each benchmark
+//! is timed with a short warmup followed by `sample_size` timed samples,
+//! and a one-line mean/min report is printed per benchmark. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations of the most recent `iter` call.
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` for a warmup iteration, then time `samples` iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warmup, also forces lazy setup
+        self.last.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.last.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.name), &bencher.last);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.into()), &bencher.last);
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry object handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: 10,
+            last: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&name.into(), &bencher.last);
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<50} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            mean,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4); // 1 warmup + 3 samples
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion;
+        let mut hits = 0;
+        c.bench_function("standalone", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the pieces the workspace uses are provided: `channel::bounded` with
+//! `try_send` / `try_recv`, where both endpoints are `Send + Sync` (std's
+//! mpsc receiver is not `Sync`, which the simulated-MPI communicator
+//! requires). The implementation is a mutex-protected ring; throughput is
+//! not the point — API fidelity in a no-network build environment is.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// All receivers are gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now.
+        Empty,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue without blocking; `Full` hands the message back.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.chan.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            q.push_back(msg);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(m) => Ok(m),
+                None if self.chan.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.chan.senders.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Create a bounded channel holding at most `capacity` messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_capacity() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = bounded::<i32>(1);
+            drop(rx);
+            assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+            let (tx, rx) = bounded::<i32>(1);
+            tx.try_send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn endpoints_are_shareable_across_threads() {
+            let (tx, rx) = bounded(64);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for k in 0..100 {
+                        while tx.try_send(k).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+                s.spawn(|| {
+                    let mut got = 0;
+                    while got < 100 {
+                        if rx.try_recv().is_ok() {
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            });
+        }
+    }
+}

@@ -26,10 +26,14 @@ fn load(path: &str) -> Result<Program, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     match cmd.as_str() {
         "emit" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let out = match (args.get(2).map(String::as_str), args.get(3)) {
                 (Some("-o"), Some(f)) => Some(f.clone()),
                 (None, _) => None,
@@ -56,7 +60,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "info" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let program = match load(path) {
                 Ok(p) => p,
                 Err(e) => {
@@ -67,7 +73,11 @@ fn main() -> ExitCode {
             let spec = program.spec();
             let tiling = program.tiling();
             println!("problem `{}`", spec.name);
-            println!("  dimensions : {} ({})", tiling.dims(), spec.vars.join(", "));
+            println!(
+                "  dimensions : {} ({})",
+                tiling.dims(),
+                spec.vars.join(", ")
+            );
             println!("  parameters : {}", spec.params.join(", "));
             println!("  tile widths: {:?}", tiling.widths());
             println!("  templates  : {}", tiling.templates().len());
@@ -97,7 +107,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "count" => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let program = match load(path) {
                 Ok(p) => p,
                 Err(e) => {

@@ -25,7 +25,11 @@ fn write_spec(name: &str) -> std::path::PathBuf {
 fn emit_writes_c_program() {
     let spec = write_spec("emit.dp");
     let out = dpgen().arg("emit").arg(&spec).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let src = String::from_utf8(out.stdout).unwrap();
     assert!(src.contains("#pragma omp parallel"));
     assert!(src.contains("MPI_Init"));
@@ -81,6 +85,12 @@ fn bad_usage_and_files_fail_cleanly() {
     assert_eq!(out.status.code(), Some(2));
     // Wrong parameter arity.
     let spec = write_spec("arity.dp");
-    let out = dpgen().arg("count").arg(&spec).arg("5").arg("6").output().unwrap();
+    let out = dpgen()
+        .arg("count")
+        .arg(&spec)
+        .arg("5")
+        .arg("6")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
 }

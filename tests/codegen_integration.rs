@@ -31,8 +31,14 @@ fn check_structure(name: &str, src: &str, ndeps: usize) {
         assert!(src.contains(needle), "{name}: missing `{needle}`");
     }
     for e in 0..ndeps {
-        assert!(src.contains(&format!("pack_edge_{e}")), "{name}: missing pack_edge_{e}");
-        assert!(src.contains(&format!("unpack_edge_{e}")), "{name}: missing unpack_edge_{e}");
+        assert!(
+            src.contains(&format!("pack_edge_{e}")),
+            "{name}: missing pack_edge_{e}"
+        );
+        assert!(
+            src.contains(&format!("unpack_edge_{e}")),
+            "{name}: missing unpack_edge_{e}"
+        );
     }
 }
 
@@ -64,7 +70,10 @@ fn all_problem_families_emit_complete_programs() {
 fn negative_template_problems_emit_ascending_loops() {
     let src = emit_c(&EditDistance::program(8).unwrap());
     // LCS/edit-distance style problems scan upward.
-    assert!(src.contains("++i_i") || src.contains("++i_j"), "expected ascending loops");
+    assert!(
+        src.contains("++i_i") || src.contains("++i_j"),
+        "expected ascending loops"
+    );
 }
 
 #[test]
@@ -80,8 +89,14 @@ fn emitted_bounds_match_runtime_bounds() {
     .unwrap();
     let src = emit_c(&program);
     // Local index variables and the x = i + w*t reconstruction must appear.
-    assert!(src.contains("const long x = i_x + 4 * t_x;"), "missing x reconstruction");
-    assert!(src.contains("const long y = i_y + 4 * t_y;"), "missing y reconstruction");
+    assert!(
+        src.contains("const long x = i_x + 4 * t_x;"),
+        "missing x reconstruction"
+    );
+    assert!(
+        src.contains("const long y = i_y + 4 * t_y;"),
+        "missing y reconstruction"
+    );
     // The simplex constraint produces a validity check mentioning N.
     assert!(src.contains("is_valid_r1"));
     assert!(src.contains("is_valid_r2"));

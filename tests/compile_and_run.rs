@@ -141,9 +141,14 @@ fn generated_triangle_program_runs_at_several_sizes() {
         }
         let mut point = program.tiling().make_point(&[n]);
         let mut tile_count = 0u64;
-        program.tiling().for_each_tile(&mut point, |_| tile_count += 1);
+        program
+            .tiling()
+            .for_each_tile(&mut point, |_| tile_count += 1);
         assert_eq!(tiles, tile_count, "N = {n}");
         let rel = (checksum - expect).abs() / expect.max(1.0);
-        assert!(rel < 1e-9, "N = {n}: checksum {checksum} vs expected {expect}");
+        assert!(
+            rel < 1e-9,
+            "N = {n}: checksum {checksum} vs expected {expect}"
+        );
     }
 }

@@ -5,18 +5,20 @@
 
 use dpgen::core::driver::{run_hybrid, HybridConfig};
 use dpgen::polyhedra::{ConstraintSystem, Space};
-use dpgen::runtime::{run_reference, run_shared, Probe, TilePriority};
+use dpgen::problems::{random_sequence, Bandit2, Lcs, SmithWaterman};
+use dpgen::runtime::{
+    run_reference, run_shared, run_shared_reduce, Probe, Reduction, TilePriority,
+};
 use dpgen::tiling::tiling::CellRef;
 use dpgen::tiling::{Template, TemplateSet, Tiling, TilingBuilder};
 use proptest::prelude::*;
 
+const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
 /// Build a random 2-D iteration space: a box with up to two extra random
 /// half-plane cuts (kept feasible by construction through the origin
 /// region), unit positive templates.
-fn build_tiling(
-    cuts: &[(i64, i64, i64)],
-    widths: (i64, i64),
-) -> Option<Tiling> {
+fn build_tiling(cuts: &[(i64, i64, i64)], widths: (i64, i64)) -> Option<Tiling> {
     let space = Space::from_names(&["x", "y"], &["N"]).ok()?;
     let mut sys = ConstraintSystem::new(space);
     sys.add_text("0 <= x <= N").ok()?;
@@ -38,8 +40,16 @@ fn build_tiling(
 
 /// Weighted path-sum kernel: exercises both validity flags and values.
 fn kernel(cell: CellRef<'_>, values: &mut [i64]) {
-    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    let a = if cell.valid[0] {
+        values[cell.loc_r(0)]
+    } else {
+        1
+    };
+    let b = if cell.valid[1] {
+        values[cell.loc_r(1)]
+    } else {
+        1
+    };
     values[cell.loc] = a
         .wrapping_mul(3)
         .wrapping_add(b)
@@ -48,7 +58,12 @@ fn kernel(cell: CellRef<'_>, values: &mut [i64]) {
 
 /// Kernel over arbitrary template counts: value = mix of valid deps.
 fn generic_kernel(cell: CellRef<'_>, values: &mut [i64]) {
-    let mut acc: i64 = cell.x.iter().enumerate().map(|(k, &v)| (k as i64 + 2) * v).sum();
+    let mut acc: i64 = cell
+        .x
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| (k as i64 + 2) * v)
+        .sum();
     for (j, &ok) in cell.valid.iter().enumerate() {
         if ok {
             acc = acc
@@ -182,4 +197,104 @@ proptest! {
         }
         prop_assert_eq!(res.stats.edges_local, expect_edges);
     }
+}
+
+/// Thread-count consistency matrix (the paper's determinism claim): LCS
+/// results are bit-identical across threads ∈ {1, 2, 4, 8} and tile
+/// widths, and match both the dense solver and the serial reference
+/// executor.
+#[test]
+fn lcs_matrix_bit_identical_across_threads_and_widths() {
+    let a = random_sequence(37, 11);
+    let b = random_sequence(41, 12);
+    let problem = Lcs::new(&[&a, &b]);
+    let want = problem.solve_dense();
+    let goal = problem.goal();
+    let mid = [goal[0] / 2, goal[1] / 3];
+    for width in [2i64, 5, 16] {
+        let program = Lcs::program(2, width).unwrap();
+        let reference = run_reference::<i64, _>(program.tiling(), &problem.params(), &problem);
+        assert_eq!(reference.get(&goal), Some(want), "reference vs dense");
+        for threads in THREAD_MATRIX {
+            let probe = Probe::many(&[&goal, &mid]);
+            let res = run_shared::<i64, _>(
+                program.tiling(),
+                &problem.params(),
+                &problem,
+                &probe,
+                threads,
+                TilePriority::column_major(2),
+            );
+            assert_eq!(res.probes[0], Some(want), "w={width} threads={threads}");
+            assert_eq!(
+                res.probes[1],
+                reference.get(&mid),
+                "w={width} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Smith–Waterman's whole-space max reduction is order-independent, so
+/// every thread count and width must give the exact dense answer.
+#[test]
+fn smith_waterman_matrix_bit_identical() {
+    let a = random_sequence(44, 21);
+    let b = random_sequence(39, 22);
+    let problem = SmithWaterman::new(&a, &b);
+    let want = problem.solve_dense();
+    assert!(want > 0, "degenerate test input");
+    for width in [3i64, 8, 32] {
+        let program = SmithWaterman::program(width).unwrap();
+        for threads in THREAD_MATRIX {
+            let reduce = Reduction::max_i64();
+            let res = run_shared_reduce::<i64, _>(
+                program.tiling(),
+                &problem.params(),
+                &problem,
+                &Probe::default(),
+                threads,
+                TilePriority::column_major(2),
+                &reduce,
+            );
+            assert_eq!(res.reduction, Some(want), "w={width} threads={threads}");
+        }
+    }
+}
+
+/// The 2-arm bandit computes in f64; every cell is written exactly once
+/// from fully-delivered dependencies, so the probed value must be
+/// *bit*-identical (`to_bits`) across thread counts and widths, and equal
+/// to the serial reference executor's cell.
+#[test]
+fn bandit2_matrix_bit_identical() {
+    let n = 10i64;
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let origin = [0i64, 0, 0, 0];
+    let mut bits: Option<u64> = None;
+    for width in [3i64, 4, 8] {
+        let program = Bandit2::program(width).unwrap();
+        let reference = run_reference::<f64, _>(program.tiling(), &[n], &kernel);
+        let ref_bits = reference.get(&origin).unwrap().to_bits();
+        for threads in THREAD_MATRIX {
+            let res = run_shared::<f64, _>(
+                program.tiling(),
+                &[n],
+                &kernel,
+                &Probe::at(&origin),
+                threads,
+                TilePriority::column_major(4),
+            );
+            let got = res.probes[0].unwrap().to_bits();
+            assert_eq!(got, ref_bits, "w={width} threads={threads} vs reference");
+            // Also identical across widths: per-cell arithmetic never
+            // depends on tiling geometry.
+            assert_eq!(*bits.get_or_insert(got), got, "w={width} threads={threads}");
+        }
+    }
+    // And the value itself is the dense solver's answer (allowing only
+    // for its different summation order).
+    let f = f64::from_bits(bits.unwrap());
+    assert!((f - problem.solve_dense(n)).abs() < 1e-9);
 }

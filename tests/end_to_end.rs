@@ -25,7 +25,10 @@ fn bandit2_all_execution_modes_agree() {
     // Shared memory at several thread counts.
     for threads in [1usize, 3, 8] {
         let res = program.run_shared::<f64, _>(&[n], &kernel, &probe, threads);
-        assert!((res.probes[0].unwrap() - want).abs() < 1e-9, "threads {threads}");
+        assert!(
+            (res.probes[0].unwrap() - want).abs() < 1e-9,
+            "threads {threads}"
+        );
     }
 
     // Hybrid at several rank × thread shapes.
@@ -52,7 +55,10 @@ fn bandit2_paper_value_grows_with_horizon() {
         assert!(per_trial > last - 1e-9, "N={n}: {per_trial} vs {last}");
         last = per_trial;
     }
-    assert!(last > 0.58, "adaptivity should clearly beat 0.5, got {last}");
+    assert!(
+        last > 0.58,
+        "adaptivity should clearly beat 0.5, got {last}"
+    );
 }
 
 #[test]
@@ -61,13 +67,7 @@ fn bandit3_hybrid_agrees_with_dense() {
     let n = 6i64;
     let want = problem.solve_dense(n);
     let program = Bandit3::program(2).unwrap();
-    let res = program.run_hybrid::<f64, _>(
-        &[n],
-        &problem.kernel(),
-        &Probe::at(&[0; 6]),
-        2,
-        2,
-    );
+    let res = program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2, 2);
     assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
 }
 
@@ -82,7 +82,9 @@ fn alignment_problems_agree_under_every_balance_method() {
     let probe = Probe::at(&[params[0], params[1]]);
     for balance in [
         BalanceMethod::Slabs { lb_dims: vec![0] },
-        BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        BalanceMethod::Slabs {
+            lb_dims: vec![0, 1],
+        },
         BalanceMethod::Hyperplane,
     ] {
         let config = HybridConfig {
@@ -137,7 +139,9 @@ fn msa3_hybrid_with_tiny_buffers() {
             send_buffers: 1,
             recv_buffers: 1,
         },
-        balance: BalanceMethod::Slabs { lb_dims: vec![0, 1] },
+        balance: BalanceMethod::Slabs {
+            lb_dims: vec![0, 1],
+        },
     };
     let res = program.run_hybrid_with::<i64, _>(
         &problem.params(),
@@ -166,8 +170,16 @@ fn spec_text_round_trip_runs() {
     )
     .unwrap();
     let kernel = |cell: dpgen::tiling::tiling::CellRef<'_>, values: &mut [u64]| {
-        let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-        let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1
+        };
         values[cell.loc] = a + b;
     };
     let res = program.run_shared::<u64, _>(&[10], &kernel, &Probe::at(&[0, 0]), 2);

@@ -20,8 +20,16 @@ fn grid(n_tiles: i64, width: i64) -> (Program, i64) {
 }
 
 fn kernel(cell: CellRef<'_>, values: &mut [u64]) {
-    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    let a = if cell.valid[0] {
+        values[cell.loc_r(0)]
+    } else {
+        1
+    };
+    let b = if cell.valid[1] {
+        values[cell.loc_r(1)]
+    } else {
+        1
+    };
     values[cell.loc] = a.wrapping_add(b);
 }
 

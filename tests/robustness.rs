@@ -6,8 +6,16 @@ use dpgen::runtime::{Probe, TilePriority};
 use dpgen::tiling::tiling::CellRef;
 
 fn count_kernel(cell: CellRef<'_>, values: &mut [u64]) {
-    let a = if cell.valid[0] { values[cell.loc_r(0)] } else { 1 };
-    let b = if cell.valid[1] { values[cell.loc_r(1)] } else { 1 };
+    let a = if cell.valid[0] {
+        values[cell.loc_r(0)]
+    } else {
+        1
+    };
+    let b = if cell.valid[1] {
+        values[cell.loc_r(1)]
+    } else {
+        1
+    };
     values[cell.loc] = a + b;
 }
 
@@ -18,15 +26,15 @@ const TRIANGLE: &str = "name t\nvars x y\nparams N\n\
 #[test]
 fn malformed_specs_are_rejected_not_panicking() {
     for bad in [
-        "",                                          // empty
-        "vars x\n",                                  // no constraints
-        "vars x\nconstraint 0 <= x <= 5\n",          // no widths
-        "vars x\nconstraint 0 <= x <= 5\nwidths 0\n", // zero width
+        "",                                                         // empty
+        "vars x\n",                                                 // no constraints
+        "vars x\nconstraint 0 <= x <= 5\n",                         // no widths
+        "vars x\nconstraint 0 <= x <= 5\nwidths 0\n",               // zero width
         "vars x\nconstraint 0 <= x <= 5\nwidths 2\ntemplate r 0\n", // zero template
         "vars x y\nconstraint 0 <= x <= 5\nconstraint 0 <= y <= 5\nwidths 2 2\n\
-         template a 1 0\ntemplate b -1 0\n",          // mixed signs
-        "vars x\nconstraint x >= 0\nwidths 2\n",      // unbounded
-        "vars x\nconstraint 0 <= x <= zz\nwidths 2\n", // unknown name
+         template a 1 0\ntemplate b -1 0\n", // mixed signs
+        "vars x\nconstraint x >= 0\nwidths 2\n",                    // unbounded
+        "vars x\nconstraint 0 <= x <= zz\nwidths 2\n",              // unknown name
     ] {
         assert!(Program::parse(bad).is_err(), "accepted: {bad:?}");
     }
@@ -104,24 +112,22 @@ fn hybrid_more_ranks_than_tiles() {
     let problem = EditDistance::new(&a, &b);
     let program = EditDistance::program(4).unwrap(); // few tiles
     let params = problem.params();
-    let res = program.run_hybrid::<i64, _>(
-        &params,
-        &problem,
-        &Probe::at(&[params[0], params[1]]),
-        6,
-        2,
-    );
+    let res =
+        program.run_hybrid::<i64, _>(&params, &problem, &Probe::at(&[params[0], params[1]]), 6, 2);
     assert_eq!(res.probes[0].unwrap(), problem.solve_dense());
 }
 
 #[test]
 fn degenerate_one_dimensional_problem() {
-    let program = Program::parse(
-        "vars x\nparams N\nconstraint 0 <= x <= N\ntemplate r 1\nwidths 5\n",
-    )
-    .unwrap();
+    let program =
+        Program::parse("vars x\nparams N\nconstraint 0 <= x <= N\ntemplate r 1\nwidths 5\n")
+            .unwrap();
     let kernel = |cell: CellRef<'_>, values: &mut [u64]| {
-        values[cell.loc] = if cell.valid[0] { values[cell.loc_r(0)] + 1 } else { 1 };
+        values[cell.loc] = if cell.valid[0] {
+            values[cell.loc_r(0)] + 1
+        } else {
+            1
+        };
     };
     let res = dpgen::runtime::run_shared::<u64, _>(
         program.tiling(),
@@ -137,10 +143,9 @@ fn degenerate_one_dimensional_problem() {
 #[test]
 fn empty_iteration_space_for_parameters() {
     // Context N >= 2 excluded by N = 1: no tiles, run completes trivially.
-    let program = Program::parse(
-        "vars x\nparams N\nconstraint 2 <= x <= N\ntemplate r 1\nwidths 3\n",
-    )
-    .unwrap();
+    let program =
+        Program::parse("vars x\nparams N\nconstraint 2 <= x <= N\ntemplate r 1\nwidths 3\n")
+            .unwrap();
     let kernel = |cell: CellRef<'_>, values: &mut [u64]| {
         values[cell.loc] = cell.x[0] as u64;
     };
