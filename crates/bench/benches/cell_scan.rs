@@ -1,0 +1,216 @@
+//! Microbenchmark for the tile-execution hot path: the reference per-cell
+//! `scan_tile` with a fresh buffer per tile (the pre-pooling runtime)
+//! against `scan_tile_fast` with one pooled buffer cleared over the
+//! written range only (the current runtime default). Single thread, LCS
+//! and Smith–Waterman kernels.
+//!
+//! Besides the criterion timings, the bench records absolute cells/sec for
+//! both variants and the speedup in `results/cell_scan.json`, so the
+//! before/after throughput is checked in alongside the figures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpgen_problems::{random_sequence, Lcs, SmithWaterman};
+use dpgen_runtime::{Kernel, Value};
+use dpgen_tiling::{Coord, Tiling};
+use std::time::Instant;
+
+/// All tiles of the problem, precomputed so sweeps only measure scanning.
+fn tiles_of(tiling: &Tiling, params: &[i64]) -> Vec<Coord> {
+    let mut point = tiling.make_point(params);
+    let mut tiles = Vec::new();
+    tiling.for_each_tile(&mut point, |t| tiles.push(t));
+    tiles
+}
+
+/// One sweep over every tile with the reference per-cell scan and a fresh
+/// `vec![T::default(); layout.size()]` per tile — the pre-PR hot path.
+fn sweep_reference<T: Value, K: Kernel<T>>(
+    tiling: &Tiling,
+    params: &[i64],
+    tiles: &[Coord],
+    kernel: &K,
+) -> u64 {
+    let layout = tiling.layout();
+    let mut point = tiling.make_point(params);
+    let mut cells = 0u64;
+    for t in tiles {
+        let mut values: Vec<T> = vec![T::default(); layout.size()];
+        tiling
+            .scan_tile(t, &mut point, |cell| {
+                kernel.compute(cell, &mut values);
+                cells += 1;
+            })
+            .expect("tile scan failed");
+        black_box(&values);
+    }
+    cells
+}
+
+/// One sweep with the interior fast-path scan and a single pooled buffer,
+/// cleared only over the cell range each tile wrote — the node runtime's
+/// current hot path.
+fn sweep_fast_pooled<T: Value, K: Kernel<T>>(
+    tiling: &Tiling,
+    params: &[i64],
+    tiles: &[Coord],
+    kernel: &K,
+) -> u64 {
+    let layout = tiling.layout();
+    let mut point = tiling.make_point(params);
+    let mut values: Vec<T> = vec![T::default(); layout.size()];
+    let mut cells = 0u64;
+    for t in tiles {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        let counts = tiling
+            .scan_tile_fast(t, &mut point, |cell| {
+                kernel.compute(cell, &mut values);
+                lo = lo.min(cell.loc);
+                hi = hi.max(cell.loc);
+            })
+            .expect("tile scan failed");
+        cells += counts.total();
+        black_box(&values);
+        if lo <= hi {
+            values[lo..=hi].fill(T::default());
+        }
+    }
+    cells
+}
+
+/// Best-of-5 cells/sec for a sweep (one warm-up pass first).
+fn throughput(mut sweep: impl FnMut() -> u64) -> f64 {
+    sweep();
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let cells = sweep();
+        let dt = t0.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(cells as f64 / dt);
+    }
+    best
+}
+
+struct Record {
+    problem: &'static str,
+    width: i64,
+    cells: u64,
+    reference_cells_per_sec: f64,
+    fast_pooled_cells_per_sec: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.fast_pooled_cells_per_sec / self.reference_cells_per_sec
+    }
+}
+
+fn write_json(records: &[Record]) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"problem\": \"{}\", \"width\": {}, \"cells_per_sweep\": {}, \
+             \"reference_cells_per_sec\": {:.0}, \"fast_pooled_cells_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.problem,
+            r.width,
+            r.cells,
+            r.reference_cells_per_sec,
+            r.fast_pooled_cells_per_sec,
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|_| std::fs::write(format!("{dir}/cell_scan.json"), out))
+    {
+        eprintln!("cell_scan: could not write results JSON: {e}");
+    }
+}
+
+fn bench_cell_scan(c: &mut Criterion) {
+    let a = random_sequence(400, 11);
+    let b = random_sequence(380, 12);
+    let lcs = Lcs::new(&[&a, &b]);
+    let lcs_program = Lcs::program(2, 32).unwrap();
+    let sw = SmithWaterman::new(&a, &b);
+    let sw_program = SmithWaterman::program(32).unwrap();
+
+    let mut group = c.benchmark_group("cell_scan");
+    group.sample_size(10);
+    {
+        let tiling = lcs_program.tiling();
+        let params = lcs.params();
+        let tiles = tiles_of(tiling, &params);
+        group.bench_function("lcs/reference", |bch| {
+            bch.iter(|| sweep_reference::<i64, _>(tiling, &params, &tiles, &lcs))
+        });
+        group.bench_function("lcs/fast_pooled", |bch| {
+            bch.iter(|| sweep_fast_pooled::<i64, _>(tiling, &params, &tiles, &lcs))
+        });
+    }
+    {
+        let tiling = sw_program.tiling();
+        let params = sw.params();
+        let tiles = tiles_of(tiling, &params);
+        group.bench_function("smith_waterman/reference", |bch| {
+            bch.iter(|| sweep_reference::<i64, _>(tiling, &params, &tiles, &sw))
+        });
+        group.bench_function("smith_waterman/fast_pooled", |bch| {
+            bch.iter(|| sweep_fast_pooled::<i64, _>(tiling, &params, &tiles, &sw))
+        });
+    }
+    group.finish();
+
+    // Absolute throughput record for results/cell_scan.json.
+    let mut records = Vec::new();
+    {
+        let tiling = lcs_program.tiling();
+        let params = lcs.params();
+        let tiles = tiles_of(tiling, &params);
+        let cells = sweep_reference::<i64, _>(tiling, &params, &tiles, &lcs);
+        records.push(Record {
+            problem: "lcs",
+            width: 32,
+            cells,
+            reference_cells_per_sec: throughput(|| {
+                sweep_reference::<i64, _>(tiling, &params, &tiles, &lcs)
+            }),
+            fast_pooled_cells_per_sec: throughput(|| {
+                sweep_fast_pooled::<i64, _>(tiling, &params, &tiles, &lcs)
+            }),
+        });
+    }
+    {
+        let tiling = sw_program.tiling();
+        let params = sw.params();
+        let tiles = tiles_of(tiling, &params);
+        let cells = sweep_reference::<i64, _>(tiling, &params, &tiles, &sw);
+        records.push(Record {
+            problem: "smith_waterman",
+            width: 32,
+            cells,
+            reference_cells_per_sec: throughput(|| {
+                sweep_reference::<i64, _>(tiling, &params, &tiles, &sw)
+            }),
+            fast_pooled_cells_per_sec: throughput(|| {
+                sweep_fast_pooled::<i64, _>(tiling, &params, &tiles, &sw)
+            }),
+        });
+    }
+    for r in &records {
+        println!(
+            "cell_scan/{}: reference {:.2} Mcells/s, fast+pooled {:.2} Mcells/s ({:.2}x)",
+            r.problem,
+            r.reference_cells_per_sec / 1e6,
+            r.fast_pooled_cells_per_sec / 1e6,
+            r.speedup(),
+        );
+    }
+    write_json(&records);
+}
+
+criterion_group!(benches, bench_cell_scan);
+criterion_main!(benches);

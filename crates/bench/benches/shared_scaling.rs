@@ -59,6 +59,16 @@ fn bench_shared(c: &mut Criterion) {
             s.idle_fraction(),
             s.worker_imbalance(),
         );
+        println!(
+            "    hot path: {:.2} Mcells/s interior={:.3} buf_alloc={} buf_reuse={} \
+             payload_alloc={} payload_reuse={}",
+            s.cells_per_sec() / 1e6,
+            s.interior_fraction(),
+            s.tile_buffers_allocated,
+            s.tile_buffers_reused,
+            s.edge_payloads_allocated,
+            s.edge_payloads_reused,
+        );
     }
 }
 

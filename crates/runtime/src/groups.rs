@@ -225,6 +225,9 @@ where
         peak_edge_cells: mem.peak_edge_cells(),
         peak_live_tiles: mem.peak_live_tiles(),
         peak_live_tile_cells: mem.peak_live_tile_cells(),
+        // The grouped runner is a reference executor: per-cell scan, fresh
+        // per-tile buffers, no pooling counters.
+        ..Default::default()
     };
     NodeResult {
         probes: probe_results.into_inner(),

@@ -24,6 +24,10 @@ pub struct MemoryStats {
     pending_tiles_peak: AtomicI64,
     edges_total: AtomicU64,
     edge_cells_total: AtomicU64,
+    tile_buffers_allocated: AtomicU64,
+    tile_buffers_reused: AtomicU64,
+    edge_payloads_allocated: AtomicU64,
+    edge_payloads_reused: AtomicU64,
 }
 
 fn bump_peak(cur: &AtomicI64, peak: &AtomicI64, delta: i64) {
@@ -140,6 +144,48 @@ impl MemoryStats {
     /// Currently pending tiles (should be 0 after a complete run).
     pub fn current_pending_tiles(&self) -> i64 {
         self.pending_tiles.load(Ordering::Relaxed)
+    }
+
+    /// A worker's pool had no tile buffer and allocated a fresh one.
+    pub fn tile_buffer_allocated(&self) {
+        self.tile_buffers_allocated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker reused its pooled tile buffer for another tile.
+    pub fn tile_buffer_reused(&self) {
+        self.tile_buffers_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An edge payload vector was freshly allocated (or had to grow).
+    pub fn edge_payload_allocated(&self) {
+        self.edge_payloads_allocated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A recycled edge payload vector was reused without allocating.
+    pub fn edge_payload_reused(&self) {
+        self.edge_payloads_reused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tile buffers allocated across all workers (plateaus at the worker
+    /// count once pooling has warmed up).
+    pub fn total_tile_buffers_allocated(&self) -> u64 {
+        self.tile_buffers_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Pooled tile buffer reuses across all workers.
+    pub fn total_tile_buffers_reused(&self) -> u64 {
+        self.tile_buffers_reused.load(Ordering::Relaxed)
+    }
+
+    /// Edge payload allocations (including capacity growth of a recycled
+    /// vector) across all workers.
+    pub fn total_edge_payloads_allocated(&self) -> u64 {
+        self.edge_payloads_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Recycled edge payload reuses across all workers.
+    pub fn total_edge_payloads_reused(&self) -> u64 {
+        self.edge_payloads_reused.load(Ordering::Relaxed)
     }
 }
 

@@ -3,11 +3,22 @@
 //! `parallel` section (Section V-A of the paper).
 //!
 //! Each worker repeatedly: polls the transport for incoming edges, pops the
-//! next available tile, unpacks its buffered edges into a freshly allocated
-//! ghost-padded buffer, runs the center-loop kernel over the tile, packs
-//! each valid outgoing edge and either updates a neighbouring tile on this
-//! node or hands the edge to the transport. Only executing tiles hold full
-//! buffers; waiting tiles exist only as packed edges.
+//! next available tile, unpacks its buffered edges into a ghost-padded
+//! buffer, runs the center-loop kernel over the tile, packs each valid
+//! outgoing edge and either updates a neighbouring tile on this node or
+//! hands the edge to the transport. Only executing tiles hold full buffers;
+//! waiting tiles exist only as packed edges.
+//!
+//! The hot path is allocation-free in steady state: each worker keeps a
+//! [`TileBufferPool`] holding one tile value buffer (cleared only over the
+//! cell range actually written by the previous tile) and a recycle list of
+//! edge payload vectors (presized from [`EdgeLayout::max_cells`] so pushes
+//! never reallocate). Tiles are scanned with
+//! [`Tiling::scan_tile_fast`], which hoists the per-cell validity checks
+//! out of contiguous interior runs.
+//!
+//! [`EdgeLayout::max_cells`]: dpgen_tiling::EdgeLayout::max_cells
+//! [`Tiling::scan_tile_fast`]: dpgen_tiling::Tiling::scan_tile_fast
 
 use crate::kernel::{Kernel, Value};
 use crate::memory::MemoryStats;
@@ -135,6 +146,81 @@ pub(crate) fn probe_map(
     map
 }
 
+/// Upper bound on recycled payload vectors a worker keeps around. Real
+/// tilings have a handful of dependency templates, so the list stays tiny;
+/// the cap only guards against pathological dependency counts.
+const MAX_RECYCLED_PAYLOADS: usize = 32;
+
+/// Per-worker buffer pool for the tile execution hot path.
+///
+/// Holds at most one tile value buffer (a worker executes one tile at a
+/// time) and a short free list of edge payload vectors. Reusing the tile
+/// buffer replaces the per-tile `vec![T::default(); layout.size()]`
+/// allocation with a clear of only the cell range the previous tile
+/// actually wrote; payload vectors are handed back after unpacking and
+/// reused for packing, so steady-state tile execution performs zero heap
+/// allocations.
+pub(crate) struct TileBufferPool<T> {
+    buffer: Option<Vec<T>>,
+    payloads: Vec<Vec<T>>,
+}
+
+impl<T: Value> TileBufferPool<T> {
+    pub(crate) fn new() -> TileBufferPool<T> {
+        TileBufferPool {
+            buffer: None,
+            payloads: Vec::new(),
+        }
+    }
+
+    /// An all-default buffer of `size` cells: the pooled one when present
+    /// (already cleared on release), otherwise a fresh allocation.
+    pub(crate) fn acquire(&mut self, size: usize, mem: &MemoryStats) -> Vec<T> {
+        match self.buffer.take() {
+            Some(buf) if buf.len() == size => {
+                mem.tile_buffer_reused();
+                buf
+            }
+            _ => {
+                mem.tile_buffer_allocated();
+                vec![T::default(); size]
+            }
+        }
+    }
+
+    /// Return a tile buffer to the pool, restoring the all-default state by
+    /// clearing only the `written` cell range (min..=max location touched
+    /// by edge unpacking and the kernel).
+    pub(crate) fn release(&mut self, mut buf: Vec<T>, written: Option<(usize, usize)>) {
+        if let Some((lo, hi)) = written {
+            buf[lo..=hi].fill(T::default());
+        }
+        self.buffer = Some(buf);
+    }
+
+    /// An empty payload vector with capacity at least `cap`: recycled when
+    /// the free list has one big enough, freshly allocated (exact-presized,
+    /// so subsequent pushes never reallocate) otherwise.
+    pub(crate) fn take_payload(&mut self, cap: usize, mem: &MemoryStats) -> Vec<T> {
+        if let Some(idx) = (0..self.payloads.len()).max_by_key(|&i| self.payloads[i].capacity()) {
+            if self.payloads[idx].capacity() >= cap {
+                mem.edge_payload_reused();
+                return self.payloads.swap_remove(idx);
+            }
+        }
+        mem.edge_payload_allocated();
+        Vec::with_capacity(cap)
+    }
+
+    /// Hand a consumed payload vector back for reuse.
+    pub(crate) fn recycle_payload(&mut self, mut payload: Vec<T>) {
+        if self.payloads.len() < MAX_RECYCLED_PAYLOADS {
+            payload.clear();
+            self.payloads.push(payload);
+        }
+    }
+}
+
 /// The outcome of one node's run.
 #[derive(Debug, Clone)]
 pub struct NodeResult<T> {
@@ -234,6 +320,8 @@ where
     let cv_mutex = Mutex::new(()); // park/wake channel, no data under it
     let executed = AtomicU64::new(0);
     let cells = AtomicU64::new(0);
+    let interior = AtomicU64::new(0);
+    let boundary = AtomicU64::new(0);
     let edges_local = AtomicU64::new(0);
     let edges_remote = AtomicU64::new(0);
     let edge_cells = AtomicU64::new(0);
@@ -241,7 +329,10 @@ where
     let tiles_per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
     // Group probe coordinates by owning tile for cheap per-tile lookup.
+    // When nothing is probed, workers skip the per-tile hash lookup and the
+    // results mutex entirely.
     let probe_by_tile = probe_map(tiling, params, probe);
+    let probes_enabled = !probe_by_tile.is_empty();
     let probe_results: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; probe.len()]);
 
     std::thread::scope(|scope| {
@@ -251,6 +342,8 @@ where
             let cv_mutex = &cv_mutex;
             let executed = &executed;
             let cells = &cells;
+            let interior = &interior;
+            let boundary = &boundary;
             let edges_local = &edges_local;
             let edges_remote = &edges_remote;
             let edge_cells = &edge_cells;
@@ -261,7 +354,12 @@ where
             let probe_results = &probe_results;
             scope.spawn(move || {
                 let mut point = tiling.make_point(params);
-                let mut batch: Vec<EdgeDelivery<T>> = Vec::new();
+                let mut pool: TileBufferPool<T> = TileBufferPool::new();
+                // Presized from the dependency count: one local edge per
+                // template plus headroom for polled transport messages, so
+                // steady-state delivery never regrows it (deliver_batch
+                // drains it in place).
+                let mut batch: Vec<EdgeDelivery<T>> = Vec::with_capacity(tiling.deps().len() + 4);
                 loop {
                     // Step 6 of the paper's loop: poll for incoming edges,
                     // delivered as one shard-grouped batch.
@@ -275,7 +373,7 @@ where
                         });
                     }
                     if !batch.is_empty() {
-                        let ready = sched.deliver_batch(w, std::mem::take(&mut batch));
+                        let ready = sched.deliver_batch(w, &mut batch);
                         for _ in 0..ready.min(threads) {
                             cv.notify_one();
                         }
@@ -297,52 +395,69 @@ where
                         continue;
                     };
 
-                    // --- Steps 2-3: unpack and execute. ---
+                    // --- Steps 2-3: unpack and execute. The tile value
+                    // buffer comes from the worker's pool; every write is
+                    // tracked as a min/max location range so release only
+                    // clears what this tile touched.
                     mem.tile_allocated(layout.size());
-                    let mut values: Vec<T> = vec![T::default(); layout.size()];
-                    for (delta, payload) in &edges {
+                    let mut values: Vec<T> = pool.acquire(layout.size(), mem);
+                    let mut written_lo = usize::MAX;
+                    let mut written_hi = 0usize;
+                    for (delta, payload) in edges {
                         let edge = tiling
-                            .edge_for(delta)
+                            .edge_for(&delta)
                             .expect("received edge with unknown offset");
-                        let src = tile.add(delta);
+                        let src = tile.add(&delta);
                         tiling.set_tile(&src, &mut point);
                         let mut k = 0usize;
                         edge.for_each_cell(&mut point, |j| {
-                            values[layout.loc_ghost(j, delta)] = payload[k];
+                            let loc = layout.loc_ghost(j, &delta);
+                            values[loc] = payload[k];
+                            written_lo = written_lo.min(loc);
+                            written_hi = written_hi.max(loc);
                             k += 1;
                         })
                         .expect("edge unpack scan failed");
                         debug_assert_eq!(k, payload.len(), "edge payload length mismatch");
+                        // The consumed payload feeds the pack-side free
+                        // list, closing the allocation loop.
+                        pool.recycle_payload(payload);
                     }
-                    let mut cell_count = 0u64;
-                    if let Some(r) = reduce {
+                    let counts = if let Some(r) = reduce {
                         let mut acc = r.identity();
-                        tiling
-                            .scan_tile(&tile, &mut point, |cell| {
+                        let counts = tiling
+                            .scan_tile_fast(&tile, &mut point, |cell| {
                                 kernel.compute(cell, &mut values);
                                 acc = r.combine(acc, values[cell.loc]);
-                                cell_count += 1;
+                                written_lo = written_lo.min(cell.loc);
+                                written_hi = written_hi.max(cell.loc);
                             })
                             .expect("tile scan failed");
                         r.merge(acc);
+                        counts
                     } else {
                         tiling
-                            .scan_tile(&tile, &mut point, |cell| {
+                            .scan_tile_fast(&tile, &mut point, |cell| {
                                 kernel.compute(cell, &mut values);
-                                cell_count += 1;
+                                written_lo = written_lo.min(cell.loc);
+                                written_hi = written_hi.max(cell.loc);
                             })
-                            .expect("tile scan failed");
-                    }
-                    cells.fetch_add(cell_count, Ordering::Relaxed);
+                            .expect("tile scan failed")
+                    };
+                    cells.fetch_add(counts.total(), Ordering::Relaxed);
+                    interior.fetch_add(counts.interior_cells, Ordering::Relaxed);
+                    boundary.fetch_add(counts.boundary_cells, Ordering::Relaxed);
 
-                    if let Some(list) = probe_by_tile.get(&tile) {
-                        let mut res = probe_results.lock();
-                        for (idx, x) in list {
-                            let mut local = [0i64; MAX_DIMS];
-                            for k in 0..d {
-                                local[k] = x[k] - widths[k] * tile[k];
+                    if probes_enabled {
+                        if let Some(list) = probe_by_tile.get(&tile) {
+                            let mut res = probe_results.lock();
+                            for (idx, x) in list {
+                                let mut local = [0i64; MAX_DIMS];
+                                for k in 0..d {
+                                    local[k] = x[k] - widths[k] * tile[k];
+                                }
+                                res[*idx] = Some(values[layout.loc(&local[..d])]);
                             }
-                            res[*idx] = Some(values[layout.loc(&local[..d])]);
                         }
                     }
 
@@ -356,7 +471,7 @@ where
                         }
                         let edge = &tiling.edges()[dep_idx];
                         tiling.set_tile(&tile, &mut point);
-                        let mut payload = Vec::new();
+                        let mut payload = pool.take_payload(edge.max_cells(), mem);
                         edge.for_each_cell(&mut point, |j| {
                             payload.push(values[layout.loc(j)]);
                         })
@@ -384,10 +499,12 @@ where
                             );
                         }
                     }
-                    let ready = sched.deliver_batch(w, std::mem::take(&mut batch));
+                    let ready = sched.deliver_batch(w, &mut batch);
                     for _ in 0..ready.min(threads) {
                         cv.notify_one();
                     }
+                    let written = (written_lo <= written_hi).then_some((written_lo, written_hi));
+                    pool.release(values, written);
                     mem.tile_released(layout.size());
                     tiles_per_worker[w].fetch_add(1, Ordering::Relaxed);
 
@@ -403,6 +520,12 @@ where
     let stats = RunStats {
         tiles_executed: executed.load(Ordering::Acquire),
         cells_computed: cells.load(Ordering::Relaxed),
+        interior_cells: interior.load(Ordering::Relaxed),
+        boundary_cells: boundary.load(Ordering::Relaxed),
+        tile_buffers_allocated: mem.total_tile_buffers_allocated(),
+        tile_buffers_reused: mem.total_tile_buffers_reused(),
+        edge_payloads_allocated: mem.total_edge_payloads_allocated(),
+        edge_payloads_reused: mem.total_edge_payloads_reused(),
         edges_local: edges_local.load(Ordering::Relaxed),
         edges_remote: edges_remote.load(Ordering::Relaxed),
         edge_cells_packed: edge_cells.load(Ordering::Relaxed),
@@ -611,6 +734,50 @@ mod tests {
         assert_eq!(res.stats.threads, 2);
         // All buffered edges were consumed.
         assert!(res.stats.peak_edges > 0);
+    }
+
+    #[test]
+    fn pooling_plateaus_and_cell_split_balances() {
+        let tiling = triangle(3);
+        let n = 30i64;
+        for threads in [1usize, 4] {
+            let res: NodeResult<u64> = run_shared(
+                &tiling,
+                &[n],
+                &path_kernel,
+                &Probe::at(&[0, 0]),
+                threads,
+                TilePriority::column_major(2),
+            );
+            let s = &res.stats;
+            // Interior/boundary split covers every computed cell.
+            assert_eq!(s.interior_cells + s.boundary_cells, s.cells_computed);
+            // Each worker allocates at most one tile buffer, ever; every
+            // tile runs on either a fresh or a pooled buffer.
+            assert!(
+                s.tile_buffers_allocated <= threads as u64,
+                "allocated {} buffers with {} threads",
+                s.tile_buffers_allocated,
+                threads
+            );
+            assert_eq!(
+                s.tile_buffers_allocated + s.tile_buffers_reused,
+                s.tiles_executed
+            );
+            // Every packed edge took a payload from the pool or allocated.
+            assert_eq!(
+                s.edge_payloads_allocated + s.edge_payloads_reused,
+                s.edges_local + s.edges_remote
+            );
+            if threads == 1 {
+                // Single worker: after warm-up all payloads are recycled,
+                // so allocations stay bounded by the dependency count plus
+                // a short warm-up transient.
+                assert!(s.tiles_executed > 20, "problem too small to exercise pool");
+                assert!(s.tile_buffers_reused > 0);
+                assert!(s.edge_payloads_reused > 0);
+            }
+        }
     }
 
     #[test]

@@ -264,21 +264,22 @@ impl<T> ShardedScheduler<T> {
     /// Deliver a batch of local edges, acquiring each shard's lock once per
     /// batch. Newly ready tiles go to `worker`'s own queue. Returns how
     /// many tiles became ready.
-    pub fn deliver_batch(&self, worker: usize, batch: Vec<EdgeDelivery<T>>) -> usize {
+    ///
+    /// The batch vector is drained in place and keeps its capacity, so a
+    /// worker that presizes it once (from the tiling's dependency count)
+    /// never reallocates it again.
+    pub fn deliver_batch(&self, worker: usize, batch: &mut Vec<EdgeDelivery<T>>) -> usize {
         if batch.is_empty() {
             return 0;
         }
         // Group by shard so each lock round-trip covers every edge bound
         // for that shard. Batches are tiny (one per dependency template),
-        // so a sort beats any bucketing structure.
-        let mut items: Vec<(usize, EdgeDelivery<T>)> = batch
-            .into_iter()
-            .map(|e| (self.shard_of(&e.tile), e))
-            .collect();
-        items.sort_by_key(|(s, _)| *s);
+        // so an in-place sort beats any bucketing structure.
+        batch.sort_unstable_by_key(|e| self.shard_of(&e.tile));
         let mut newly_ready = 0usize;
-        let mut it = items.into_iter().peekable();
-        while let Some((shard_idx, first)) = it.next() {
+        let mut it = batch.drain(..).peekable();
+        while let Some(first) = it.next() {
+            let shard_idx = self.shard_of(&first.tile);
             let mut ready: Vec<ReadyTile<T>> = Vec::new();
             {
                 let mut shard = self.timed_lock(&self.shards[shard_idx]);
@@ -290,8 +291,12 @@ impl<T> ShardedScheduler<T> {
                     }
                 };
                 deliver(first, &mut shard);
-                while it.peek().map(|(s, _)| *s) == Some(shard_idx) {
-                    let (_, e) = it.next().unwrap();
+                while it
+                    .peek()
+                    .map(|e| self.shard_of(&e.tile) == shard_idx)
+                    .unwrap_or(false)
+                {
+                    let e = it.next().unwrap();
                     deliver(e, &mut shard);
                 }
             }
@@ -429,24 +434,26 @@ mod tests {
     fn batch_delivery_readies_tiles() {
         let s = sched(TilePriority::Fifo, 2);
         let t = c(&[1, 1]);
-        let made_ready = s.deliver_batch(
-            0,
-            vec![
-                EdgeDelivery {
-                    tile: t,
-                    delta: c(&[-1, 0]),
-                    payload: vec![1.0, 2.0],
-                    total: 2,
-                },
-                EdgeDelivery {
-                    tile: t,
-                    delta: c(&[0, -1]),
-                    payload: vec![3.0],
-                    total: 2,
-                },
-            ],
-        );
+        let mut batch = vec![
+            EdgeDelivery {
+                tile: t,
+                delta: c(&[-1, 0]),
+                payload: vec![1.0, 2.0],
+                total: 2,
+            },
+            EdgeDelivery {
+                tile: t,
+                delta: c(&[0, -1]),
+                payload: vec![3.0],
+                total: 2,
+            },
+        ];
+        let cap = batch.capacity();
+        let made_ready = s.deliver_batch(0, &mut batch);
         assert_eq!(made_ready, 1);
+        // Drained in place: empty but capacity preserved for reuse.
+        assert!(batch.is_empty());
+        assert_eq!(batch.capacity(), cap);
         assert_eq!(s.pending_len(), 0);
         let (tile, edges) = s.pop(0).unwrap();
         assert_eq!(tile, t);
@@ -459,7 +466,7 @@ mod tests {
         let s = sched(TilePriority::Fifo, 1);
         let made_ready = s.deliver_batch(
             0,
-            vec![EdgeDelivery {
+            &mut vec![EdgeDelivery {
                 tile: c(&[1, 1]),
                 delta: c(&[-1, 0]),
                 payload: vec![],

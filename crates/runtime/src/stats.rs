@@ -11,6 +11,21 @@ pub struct RunStats {
     pub tiles_executed: u64,
     /// Cells computed (center-loop executions).
     pub cells_computed: u64,
+    /// Cells computed inside interior fast-path runs (all validity checks
+    /// hoisted to the run endpoints; see `Tiling::scan_tile_fast`).
+    pub interior_cells: u64,
+    /// Cells computed by the per-cell boundary fallback.
+    pub boundary_cells: u64,
+    /// Tile value buffers freshly allocated (plateaus at the worker count
+    /// once per-worker pooling has warmed up).
+    pub tile_buffers_allocated: u64,
+    /// Tiles executed on a reused (pooled) value buffer.
+    pub tile_buffers_reused: u64,
+    /// Edge payload vectors freshly allocated or grown.
+    pub edge_payloads_allocated: u64,
+    /// Edge payload vectors reused from a worker's recycle list without
+    /// allocating.
+    pub edge_payloads_reused: u64,
     /// Edges delivered to tiles on the same node.
     pub edges_local: u64,
     /// Edges handed to the transport for other nodes.
@@ -82,6 +97,33 @@ impl RunStats {
         self.lock_wait_time.as_secs_f64() / (self.total_time.as_secs_f64() * self.threads as f64)
     }
 
+    /// Computed cells per second of wall time (0.0 for zero-duration runs).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.cells_computed as f64 / self.total_time.as_secs_f64()
+    }
+
+    /// Fraction of cells computed on the interior fast path (0.0 when the
+    /// runner doesn't track the split).
+    pub fn interior_fraction(&self) -> f64 {
+        let total = self.interior_cells + self.boundary_cells;
+        if total == 0 {
+            return 0.0;
+        }
+        self.interior_cells as f64 / total as f64
+    }
+
+    /// Fraction of tiles executed on a reused pooled buffer.
+    pub fn buffer_reuse_fraction(&self) -> f64 {
+        let total = self.tile_buffers_allocated + self.tile_buffers_reused;
+        if total == 0 {
+            return 0.0;
+        }
+        self.tile_buffers_reused as f64 / total as f64
+    }
+
     /// Load imbalance across workers: max over mean of `tiles_per_worker`
     /// (1.0 = perfectly even; 0.0 when the histogram is empty).
     pub fn worker_imbalance(&self) -> f64 {
@@ -116,6 +158,26 @@ mod tests {
         let z = RunStats::default();
         assert_eq!(z.init_fraction(), 0.0);
         assert_eq!(z.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hot_path_metrics() {
+        let s = RunStats {
+            cells_computed: 1000,
+            interior_cells: 900,
+            boundary_cells: 100,
+            tile_buffers_allocated: 4,
+            tile_buffers_reused: 96,
+            total_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((s.cells_per_sec() - 2000.0).abs() < 1e-9);
+        assert!((s.interior_fraction() - 0.9).abs() < 1e-12);
+        assert!((s.buffer_reuse_fraction() - 0.96).abs() < 1e-12);
+        let z = RunStats::default();
+        assert_eq!(z.cells_per_sec(), 0.0);
+        assert_eq!(z.interior_fraction(), 0.0);
+        assert_eq!(z.buffer_reuse_fraction(), 0.0);
     }
 
     #[test]

@@ -62,6 +62,18 @@ impl EdgeLayout {
         self.nest.count(point)
     }
 
+    /// Upper bound on the cells any tile's instance of this edge carries:
+    /// the product of the bounding-box extents. The actual region is the
+    /// box intersected with the tile's local iteration space, so a payload
+    /// buffer presized to this bound never reallocates.
+    pub fn max_cells(&self) -> usize {
+        self.box_lo
+            .iter()
+            .zip(&self.box_hi)
+            .map(|(&lo, &hi)| (hi - lo + 1).max(0) as usize)
+            .product()
+    }
+
     /// The shared pack/unpack loop nest (exposed for code generation).
     pub fn nest(&self) -> &LoopNest {
         &self.nest

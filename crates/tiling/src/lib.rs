@@ -33,4 +33,4 @@ pub use deps::TileDep;
 pub use edges::EdgeLayout;
 pub use layout::TileLayout;
 pub use template::{Direction, Template, TemplateSet};
-pub use tiling::{Tiling, TilingBuilder, TilingError};
+pub use tiling::{ScanCounts, Tiling, TilingBuilder, TilingError};

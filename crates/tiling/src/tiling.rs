@@ -7,8 +7,13 @@ use crate::deps::{derive_tile_deps, TileDep};
 use crate::edges::{build_edge_layouts, EdgeLayout};
 use crate::layout::TileLayout;
 use crate::template::{Direction, TemplateError, TemplateSet};
+use dpgen_polyhedra::num::{ceil_div, floor_div};
 use dpgen_polyhedra::{Constraint, ConstraintSystem, LinExpr, LoopNest, PolyError, Space, VarKind};
 use std::fmt;
+
+/// Upper bound on simultaneously tracked templates / validity checks in the
+/// fixed-size scan scratch arrays.
+const MAX_CHECKS: usize = MAX_DIMS * 4;
 
 /// Errors from tiling construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -510,10 +515,10 @@ impl Tiling {
         let ntemplates = self.templates.len();
         let mut local = [0i64; MAX_DIMS];
         let mut x = [0i64; MAX_DIMS];
-        let mut valid = [false; MAX_DIMS * 4];
-        let mut check_vals = [false; MAX_DIMS * 4];
-        assert!(ntemplates <= MAX_DIMS * 4, "too many templates");
-        assert!(checks.len() <= MAX_DIMS * 4, "too many validity checks");
+        let mut valid = [false; MAX_CHECKS];
+        let mut check_vals = [false; MAX_CHECKS];
+        assert!(ntemplates <= MAX_CHECKS, "too many templates");
+        assert!(checks.len() <= MAX_CHECKS, "too many validity checks");
         let tile_vals = tile.as_slice();
         self.local_nest
             .for_each_point_directed(point, &self.local_desc, |p| {
@@ -536,6 +541,271 @@ impl Tiling {
                     offsets,
                 });
             })
+    }
+
+    /// Execute the center-loop scan over one tile with the interior
+    /// fast path: visits exactly the same `(loc, x, local, valid)`
+    /// sequence as [`Tiling::scan_tile`], but splits every innermost row
+    /// into an *interior run* — the contiguous sub-interval where every
+    /// validity check is provably `>= 0` — and the remaining *boundary
+    /// cells*.
+    ///
+    /// Each validity check is affine in the innermost local index, so its
+    /// sign along a row is decided by one `i128` evaluation at the row
+    /// origin plus a division; inside the run, `loc` and `x` advance
+    /// incrementally and the `valid` flags are a constant all-true slice.
+    /// Only boundary cells pay the reference scan's per-cell check
+    /// evaluation. For dense interiors this removes almost all of the
+    /// per-cell polyhedral arithmetic (the specialization Section IV-G/H
+    /// of the paper bakes into its generated loop nests).
+    pub fn scan_tile_fast<F: FnMut(CellRef<'_>)>(
+        &self,
+        tile: &Coord,
+        point: &mut [i128],
+        mut f: F,
+    ) -> Result<ScanCounts, PolyError> {
+        self.set_tile(tile, point);
+        let ntemplates = self.templates.len();
+        let checks = &self.validity_checks;
+        assert!(ntemplates <= MAX_CHECKS, "too many templates");
+        assert!(checks.len() <= MAX_CHECKS, "too many validity checks");
+        if !self.local_nest.context_holds(point)? {
+            return Ok(ScanCounts::default());
+        }
+        let inner_dim = *self.loop_order.last().expect("tiling has >= 1 dim");
+        let inner_col = self.i_cols[inner_dim];
+        let mut inner_coeff = [0i128; MAX_CHECKS];
+        for (ci, check) in checks.iter().enumerate() {
+            inner_coeff[ci] = check.coeff(inner_col);
+        }
+        let mut scan = FastScan {
+            tiling: self,
+            f: &mut f,
+            inner_dim,
+            inner_col,
+            inner_x_base: self.widths[inner_dim] * tile[inner_dim],
+            inner_stride: self.layout.strides()[inner_dim],
+            inner_coeff,
+            tile: *tile,
+            local: [0; MAX_DIMS],
+            x: [0; MAX_DIMS],
+            valid: [false; MAX_CHECKS],
+            check_vals: [false; MAX_CHECKS],
+            counts: ScanCounts::default(),
+        };
+        scan.walk(0, point)?;
+        Ok(scan.counts)
+    }
+}
+
+/// Cell counters reported by [`Tiling::scan_tile_fast`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounts {
+    /// Cells visited inside an interior run: all validity flags proven
+    /// true for the whole run from one evaluation per check, `loc`/`x`
+    /// advanced incrementally.
+    pub interior_cells: u64,
+    /// Cells visited by the per-cell fallback (rows with no interior run,
+    /// and the row remainder outside the run).
+    pub boundary_cells: u64,
+}
+
+impl ScanCounts {
+    /// Total cells visited.
+    pub fn total(&self) -> u64 {
+        self.interior_cells + self.boundary_cells
+    }
+}
+
+/// Recursive walker behind [`Tiling::scan_tile_fast`]: outer loop levels
+/// replay the directed nest walk; the innermost level is split into
+/// boundary segments and the all-valid interior run.
+struct FastScan<'a, F> {
+    tiling: &'a Tiling,
+    f: &'a mut F,
+    /// Problem-dimension index of the innermost loop level.
+    inner_dim: usize,
+    /// Extended-space column of the innermost local index.
+    inner_col: usize,
+    /// `widths[inner_dim] * tile[inner_dim]`: global = local + base.
+    inner_x_base: i64,
+    /// Buffer stride of one step along the innermost dimension.
+    inner_stride: i64,
+    /// Coefficient of the innermost local index in each validity check.
+    inner_coeff: [i128; MAX_CHECKS],
+    tile: Coord,
+    local: [i64; MAX_DIMS],
+    x: [i64; MAX_DIMS],
+    valid: [bool; MAX_CHECKS],
+    check_vals: [bool; MAX_CHECKS],
+    counts: ScanCounts,
+}
+
+impl<F: FnMut(CellRef<'_>)> FastScan<'_, F> {
+    fn walk(&mut self, depth: usize, point: &mut [i128]) -> Result<(), PolyError> {
+        let levels = self.tiling.local_nest.levels();
+        let level = &levels[depth];
+        let desc = self.tiling.local_desc[depth];
+        let Some((lb, ub)) = level.bounds_at(point)? else {
+            return Ok(());
+        };
+        if depth + 1 == levels.len() {
+            return self.scan_row(point, lb, ub, desc);
+        }
+        let dim = self.tiling.loop_order[depth];
+        let x_base = self.tiling.widths[dim] * self.tile[dim];
+        let mut v = if desc { ub } else { lb };
+        loop {
+            point[level.var] = v;
+            self.local[dim] = v as i64;
+            self.x[dim] = v as i64 + x_base;
+            self.walk(depth + 1, point)?;
+            if desc {
+                if v == lb {
+                    break;
+                }
+                v -= 1;
+            } else {
+                if v == ub {
+                    break;
+                }
+                v += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan one innermost row `[lb, ub]` in direction `desc`.
+    fn scan_row(
+        &mut self,
+        point: &mut [i128],
+        lb: i128,
+        ub: i128,
+        desc: bool,
+    ) -> Result<(), PolyError> {
+        let checks = self.tiling.validity_checks.as_slice();
+        // The all-valid interval: check `base + coeff * v >= 0` restricted
+        // to `[lb, ub]`. One evaluation per check per row, instead of one
+        // per check per cell.
+        point[self.inner_col] = 0;
+        let mut run_lo = lb;
+        let mut run_hi = ub;
+        for (ci, check) in checks.iter().enumerate() {
+            let base = check.eval(point)?;
+            let c = self.inner_coeff[ci];
+            if c == 0 {
+                if base < 0 {
+                    run_hi = run_lo - 1; // constant-false check: no run
+                    break;
+                }
+            } else if c > 0 {
+                run_lo = run_lo.max(ceil_div(-base, c));
+            } else {
+                run_hi = run_hi.min(floor_div(base, -c));
+            }
+            if run_lo > run_hi {
+                break;
+            }
+        }
+        if run_lo > run_hi {
+            // No interior: whole row through the per-cell fallback.
+            return self.boundary_segment(point, lb, ub, desc);
+        }
+        if desc {
+            self.boundary_segment(point, run_hi + 1, ub, true)?;
+            self.interior_run(run_lo, run_hi, true);
+            self.boundary_segment(point, lb, run_lo - 1, true)
+        } else {
+            self.boundary_segment(point, lb, run_lo - 1, false)?;
+            self.interior_run(run_lo, run_hi, false);
+            self.boundary_segment(point, run_hi + 1, ub, false)
+        }
+    }
+
+    /// Per-cell fallback over `[lo, hi]` (empty when `lo > hi`): identical
+    /// to the reference scan's body.
+    fn boundary_segment(
+        &mut self,
+        point: &mut [i128],
+        lo: i128,
+        hi: i128,
+        desc: bool,
+    ) -> Result<(), PolyError> {
+        if lo > hi {
+            return Ok(());
+        }
+        let tiling = self.tiling;
+        let d = tiling.widths.len();
+        let checks = tiling.validity_checks.as_slice();
+        let ntemplates = tiling.templates.len();
+        let offsets = tiling.layout.template_offsets();
+        let mut v = if desc { hi } else { lo };
+        loop {
+            point[self.inner_col] = v;
+            self.local[self.inner_dim] = v as i64;
+            self.x[self.inner_dim] = v as i64 + self.inner_x_base;
+            for (ci, check) in checks.iter().enumerate() {
+                self.check_vals[ci] = check.eval(point)? >= 0;
+            }
+            for (j, idxs) in tiling.validity_per_template.iter().enumerate() {
+                self.valid[j] = idxs.iter().all(|&ci| self.check_vals[ci]);
+            }
+            let loc = tiling.layout.loc(&self.local[..d]);
+            (self.f)(CellRef {
+                loc,
+                x: &self.x[..d],
+                local: &self.local[..d],
+                valid: &self.valid[..ntemplates],
+                offsets,
+            });
+            self.counts.boundary_cells += 1;
+            if desc {
+                if v == lo {
+                    break;
+                }
+                v -= 1;
+            } else {
+                if v == hi {
+                    break;
+                }
+                v += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The all-valid run `[lo, hi]`: constant `valid` flags, incremental
+    /// `loc`/`x`, no per-cell polyhedral arithmetic.
+    fn interior_run(&mut self, lo: i128, hi: i128, desc: bool) {
+        let tiling = self.tiling;
+        let d = tiling.widths.len();
+        let ntemplates = tiling.templates.len();
+        let offsets = tiling.layout.template_offsets();
+        self.valid[..ntemplates].fill(true);
+        let start = if desc { hi } else { lo };
+        let step: i64 = if desc { -1 } else { 1 };
+        let loc_step = if desc {
+            -self.inner_stride
+        } else {
+            self.inner_stride
+        };
+        self.local[self.inner_dim] = start as i64;
+        self.x[self.inner_dim] = start as i64 + self.inner_x_base;
+        let mut loc = tiling.layout.loc(&self.local[..d]) as i64;
+        let n = (hi - lo + 1) as u64;
+        for _ in 0..n {
+            (self.f)(CellRef {
+                loc: loc as usize,
+                x: &self.x[..d],
+                local: &self.local[..d],
+                valid: &self.valid[..ntemplates],
+                offsets,
+            });
+            loc += loc_step;
+            self.local[self.inner_dim] += step;
+            self.x[self.inner_dim] += step;
+        }
+        self.counts.interior_cells += n;
     }
 }
 
@@ -700,6 +970,167 @@ mod tests {
         ));
         // Good build.
         assert!(TilingBuilder::new(sys, t, vec![4, 4]).build().is_ok());
+    }
+
+    /// Full visit record of one scan: everything a kernel can observe.
+    type Visit = (usize, Vec<i64>, Vec<i64>, Vec<bool>);
+
+    fn record_scans(tiling: &Tiling, params: &[i64]) -> (Vec<Visit>, Vec<Visit>, ScanCounts) {
+        let mut point = tiling.make_point(params);
+        let mut tiles = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        let mut slow = Vec::new();
+        let mut fast = Vec::new();
+        let mut counts = ScanCounts::default();
+        for t in &tiles {
+            let mut p = tiling.make_point(params);
+            tiling
+                .scan_tile(t, &mut p, |cell| {
+                    slow.push((
+                        cell.loc,
+                        cell.x.to_vec(),
+                        cell.local.to_vec(),
+                        cell.valid.to_vec(),
+                    ));
+                })
+                .unwrap();
+            let mut p = tiling.make_point(params);
+            let c = tiling
+                .scan_tile_fast(t, &mut p, |cell| {
+                    fast.push((
+                        cell.loc,
+                        cell.x.to_vec(),
+                        cell.local.to_vec(),
+                        cell.valid.to_vec(),
+                    ));
+                })
+                .unwrap();
+            counts.interior_cells += c.interior_cells;
+            counts.boundary_cells += c.boundary_cells;
+        }
+        (slow, fast, counts)
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_on_triangle() {
+        for w in [1i64, 3, 4, 10] {
+            let tiling = triangle_tiling(w);
+            let (slow, fast, counts) = record_scans(&tiling, &[9]);
+            assert_eq!(slow, fast, "w={w}");
+            assert_eq!(counts.total() as usize, slow.len(), "w={w}");
+            assert!(counts.interior_cells > 0, "w={w}: no interior runs found");
+        }
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_with_negative_templates() {
+        // Descending-dependency problem: templates point down/left, so the
+        // scan ascends and validity cuts sit at the low boundary.
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        sys.add_text("2*x + y <= 2*N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![
+                Template::new("left", &[-1, 0]),
+                Template::new("down", &[0, -1]),
+                Template::new("diag", &[-2, -1]),
+            ],
+        )
+        .unwrap();
+        let tiling = TilingBuilder::new(sys, templates, vec![3, 5])
+            .build()
+            .unwrap();
+        let (slow, fast, counts) = record_scans(&tiling, &[11]);
+        assert_eq!(slow, fast);
+        assert_eq!(counts.total() as usize, slow.len());
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_in_3d() {
+        let space = Space::from_names(&["x", "y", "z"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("z >= 0").unwrap();
+        sys.add_text("x + y + z <= N").unwrap();
+        let templates = TemplateSet::new(
+            3,
+            vec![
+                Template::new("r1", &[1, 0, 0]),
+                Template::new("r2", &[0, 1, 0]),
+                Template::new("r3", &[0, 0, 1]),
+            ],
+        )
+        .unwrap();
+        let tiling = TilingBuilder::new(sys, templates, vec![2, 3, 4])
+            .build()
+            .unwrap();
+        let (slow, fast, counts) = record_scans(&tiling, &[8]);
+        assert_eq!(slow, fast);
+        assert_eq!(counts.total() as usize, slow.len());
+        assert!(counts.interior_cells > 0);
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_in_1d() {
+        let space = Space::from_names(&["x"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        let templates = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
+        let tiling = TilingBuilder::new(sys, templates, vec![4]).build().unwrap();
+        let (slow, fast, counts) = record_scans(&tiling, &[13]);
+        assert_eq!(slow, fast);
+        assert_eq!(counts.total() as usize, slow.len());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// The fast scan visits the identical `(loc, x, local, valid)`
+        /// sequence as the reference scan across randomized polytopes,
+        /// widths and template sets (uniform sign per dimension, multi-step
+        /// components, extra half-plane cuts).
+        #[test]
+        fn fast_scan_equivalence(
+            n in 2i64..14,
+            w1 in 1i64..6,
+            w2 in 1i64..6,
+            comps in proptest::collection::vec((0i64..3, 0i64..3), 1..4),
+            cut in (0i64..3, 0i64..3, 0i64..3),
+            sign in proptest::bool::ANY,
+        ) {
+            use proptest::prelude::*;
+            let templates: Vec<Template> = comps
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, b))| a != 0 || b != 0)
+                .map(|(i, &(a, b))| {
+                    let (a, b) = if sign { (a, b) } else { (-a, -b) };
+                    Template::new(format!("t{i}"), &[a, b])
+                })
+                .collect();
+            if templates.is_empty() {
+                return Ok(());
+            }
+            let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+            let mut sys = ConstraintSystem::new(space);
+            sys.add_text("0 <= x <= N").unwrap();
+            sys.add_text("0 <= y <= N").unwrap();
+            let (a, b, extra) = cut;
+            if a + b > 0 {
+                // Keeps the origin region feasible while cutting a corner.
+                sys.add_text(&format!("{a}*x + {b}*y <= {}*N", a + b + extra)).unwrap();
+            }
+            let set = TemplateSet::new(2, templates).unwrap();
+            let tiling = TilingBuilder::new(sys, set, vec![w1, w2]).build().unwrap();
+            let (slow, fast, counts) = record_scans(&tiling, &[n]);
+            prop_assert_eq!(&slow, &fast);
+            prop_assert_eq!(counts.total() as usize, slow.len());
+            prop_assert_eq!(slow.len() as u128, tiling.total_cells(&[n]));
+        }
     }
 
     #[test]

@@ -199,6 +199,36 @@ proptest! {
     }
 }
 
+/// The matrix tests below run with the interior fast-path scan and
+/// per-worker buffer pooling enabled (the runtime default), so their
+/// bit-identical assertions double as the equivalence check for the hot
+/// path. This helper pins the accounting invariants on top: the
+/// interior/boundary split covers every cell, and tile buffer allocations
+/// plateau at the worker count.
+fn assert_hot_path_stats(stats: &dpgen::runtime::RunStats, threads: usize, ctx: &str) {
+    assert_eq!(
+        stats.interior_cells + stats.boundary_cells,
+        stats.cells_computed,
+        "interior/boundary split must cover all cells ({ctx})"
+    );
+    assert!(
+        stats.tile_buffers_allocated <= threads as u64,
+        "pooling must allocate at most one buffer per worker, got {} for {} threads ({ctx})",
+        stats.tile_buffers_allocated,
+        threads
+    );
+    assert_eq!(
+        stats.tile_buffers_allocated + stats.tile_buffers_reused,
+        stats.tiles_executed,
+        "every tile runs on a fresh or pooled buffer ({ctx})"
+    );
+    assert_eq!(
+        stats.edge_payloads_allocated + stats.edge_payloads_reused,
+        stats.edges_local + stats.edges_remote,
+        "every packed edge takes exactly one payload vector ({ctx})"
+    );
+}
+
 /// Thread-count consistency matrix (the paper's determinism claim): LCS
 /// results are bit-identical across threads ∈ {1, 2, 4, 8} and tile
 /// widths, and match both the dense solver and the serial reference
@@ -231,6 +261,7 @@ fn lcs_matrix_bit_identical_across_threads_and_widths() {
                 reference.get(&mid),
                 "w={width} threads={threads}"
             );
+            assert_hot_path_stats(&res.stats, threads, &format!("lcs w={width}"));
         }
     }
 }
@@ -258,6 +289,7 @@ fn smith_waterman_matrix_bit_identical() {
                 &reduce,
             );
             assert_eq!(res.reduction, Some(want), "w={width} threads={threads}");
+            assert_hot_path_stats(&res.stats, threads, &format!("sw w={width}"));
         }
     }
 }
@@ -288,6 +320,7 @@ fn bandit2_matrix_bit_identical() {
             );
             let got = res.probes[0].unwrap().to_bits();
             assert_eq!(got, ref_bits, "w={width} threads={threads} vs reference");
+            assert_hot_path_stats(&res.stats, threads, &format!("bandit2 w={width}"));
             // Also identical across widths: per-cell arithmetic never
             // depends on tiling geometry.
             assert_eq!(*bits.get_or_insert(got), got, "w={width} threads={threads}");

@@ -122,7 +122,7 @@ proptest! {
                     total: dep_totals[&consumer],
                 });
             }
-            sched.deliver_batch(w, batch);
+            sched.deliver_batch(w, &mut batch);
         }
 
         // Every tile exactly once.
@@ -181,7 +181,7 @@ fn duplicate_edge_delivery_panics() {
         // from a batch delivery as well as the single-edge path.
         sched.deliver_batch(
             1,
-            vec![EdgeDelivery {
+            &mut vec![EdgeDelivery {
                 tile,
                 delta,
                 payload: vec![2],
