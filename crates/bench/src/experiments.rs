@@ -456,10 +456,12 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
             comm: CommConfig {
                 send_buffers: buffers,
                 recv_buffers: buffers,
+                ..CommConfig::default()
             },
             balance: BalanceMethod::Slabs {
                 lb_dims: vec![0, 1],
             },
+            stall_timeout: Some(std::time::Duration::from_secs(60)),
         };
         let res = program.run_hybrid_with::<f64, _>(
             &[n],

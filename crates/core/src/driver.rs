@@ -5,13 +5,21 @@
 //! process per node — here, one thread per simulated rank — each of which
 //! runs the shared-memory node runtime with its own worker pool and
 //! exchanges edges through `dpgen-mpisim`.
+//!
+//! Multi-rank failure handling: every rank shares one cancellation flag, so
+//! the first rank to fail (kernel panic, stall, transport error) tears the
+//! others down promptly; [`try_run_hybrid_reduce`] then reports the most
+//! diagnostic error (by [`RunError::severity`]) rather than a sympathetic
+//! `Cancelled`.
 
 use crate::loadbalance::{BalanceMethod, LoadBalance};
 use dpgen_mpisim::{CommConfig, CommStats, CommWorld, Wire};
 use dpgen_runtime::{
-    run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, Reduction, TilePriority, Value,
+    run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, Reduction, RunError, TilePriority,
+    Value,
 };
 use dpgen_tiling::Tiling;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,10 +33,13 @@ pub struct HybridConfig {
     /// Tile priority; `None` uses the paper's default (Figure 5):
     /// column-major with the load-balancing dimensions first.
     pub priority: Option<TilePriority>,
-    /// Send/receive buffer counts (Section VI-C tunables).
+    /// Send/receive buffer counts (Section VI-C tunables), reliability
+    /// protocol knobs, and the optional fault-injection plan.
     pub comm: CommConfig,
     /// Partitioning method.
     pub balance: BalanceMethod,
+    /// Per-rank stall watchdog window; `None` disables the watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl HybridConfig {
@@ -40,6 +51,7 @@ impl HybridConfig {
             priority: None,
             comm: CommConfig::default(),
             balance: BalanceMethod::Slabs { lb_dims },
+            stall_timeout: Some(dpgen_runtime::DEFAULT_STALL_TIMEOUT),
         }
     }
 }
@@ -80,10 +92,16 @@ impl<T> HybridResult<T> {
     pub fn bytes_sent(&self) -> u64 {
         self.comm_stats.iter().map(|s| s.bytes_sent()).sum()
     }
+
+    /// Aggregate retransmitted frames (nonzero only under injected faults).
+    pub fn retransmits(&self) -> u64 {
+        self.comm_stats.iter().map(|s| s.retransmits()).sum()
+    }
 }
 
 /// Run the problem on `config.ranks` simulated nodes, each with
-/// `config.threads_per_rank` workers.
+/// `config.threads_per_rank` workers. Panics on a failed run; use
+/// [`try_run_hybrid`] to handle failures.
 pub fn run_hybrid<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -95,11 +113,28 @@ where
     T: Value + Wire,
     K: Kernel<T>,
 {
-    run_hybrid_reduce(tiling, params, kernel, probe, config, None)
+    try_run_hybrid(tiling, params, kernel, probe, config)
+        .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
+}
+
+/// Fallible [`run_hybrid`].
+pub fn try_run_hybrid<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    config: &HybridConfig,
+) -> Result<HybridResult<T>, RunError>
+where
+    T: Value + Wire,
+    K: Kernel<T>,
+{
+    try_run_hybrid_reduce(tiling, params, kernel, probe, config, None)
 }
 
 /// [`run_hybrid`] with an optional whole-space [`Reduction`] shared by all
-/// ranks; the merged value lands in [`HybridResult::reduction`].
+/// ranks; the merged value lands in [`HybridResult::reduction`]. Panics on
+/// a failed run; use [`try_run_hybrid_reduce`] to handle failures.
 pub fn run_hybrid_reduce<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -108,6 +143,24 @@ pub fn run_hybrid_reduce<T, K>(
     config: &HybridConfig,
     reduce: Option<&Reduction<T>>,
 ) -> HybridResult<T>
+where
+    T: Value + Wire,
+    K: Kernel<T>,
+{
+    try_run_hybrid_reduce(tiling, params, kernel, probe, config, reduce)
+        .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
+}
+
+/// Fallible [`run_hybrid_reduce`]: any rank's failure cancels the others,
+/// and the most diagnostic error across ranks is returned.
+pub fn try_run_hybrid_reduce<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    config: &HybridConfig,
+    reduce: Option<&Reduction<T>>,
+) -> Result<HybridResult<T>, RunError>
 where
     T: Value + Wire,
     K: Kernel<T>,
@@ -127,18 +180,25 @@ where
 
     let world = CommWorld::create::<T>(config.ranks, config.comm);
     let comm_stats: Vec<Arc<CommStats>> = world.iter().map(|r| r.stats()).collect();
+    // One flag for the whole world: the first failing rank raises it and
+    // every other rank bails out instead of waiting on silent peers.
+    let cancel = Arc::new(AtomicBool::new(false));
 
-    let mut per_rank: Vec<Option<NodeResult<T>>> = (0..config.ranks).map(|_| None).collect();
+    let mut per_rank: Vec<Option<Result<NodeResult<T>, RunError>>> =
+        (0..config.ranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for comm in &world {
             let priority = priority.clone();
             let owner = &owner;
+            let cancel = cancel.clone();
             handles.push(scope.spawn(move || {
                 let node_config = NodeConfig {
                     threads: config.threads_per_rank,
                     priority,
                     rank: comm.rank(),
+                    stall_timeout: config.stall_timeout,
+                    cancel: Some(cancel),
                 };
                 run_node_reduce(
                     tiling,
@@ -156,7 +216,26 @@ where
             per_rank[rank] = Some(h.join().expect("rank thread panicked"));
         }
     });
-    let per_rank: Vec<NodeResult<T>> = per_rank.into_iter().map(Option::unwrap).collect();
+
+    // Surface the most diagnostic failure: a root cause (kernel panic, bad
+    // edge) beats a symptom (stall, transport) beats a sympathetic
+    // cancellation.
+    let mut worst: Option<RunError> = None;
+    for r in per_rank.iter().flatten() {
+        if let Err(e) = r {
+            if worst
+                .as_ref()
+                .map(|w| e.severity() > w.severity())
+                .unwrap_or(true)
+            {
+                worst = Some(e.clone());
+            }
+        }
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    let per_rank: Vec<NodeResult<T>> = per_rank.into_iter().map(|r| r.unwrap().unwrap()).collect();
 
     // Merge probes: each coordinate is resolved by exactly one rank.
     let mut probes = vec![None; probe.len()];
@@ -169,7 +248,7 @@ where
         }
     }
 
-    HybridResult {
+    Ok(HybridResult {
         probes,
         reduction: reduce.map(|r| r.finish()),
         per_rank,
@@ -177,7 +256,7 @@ where
         balance,
         total_time: t_start.elapsed(),
         balance_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +336,7 @@ mod tests {
             priority: None,
             comm: CommConfig::default(),
             balance: BalanceMethod::Hyperplane,
+            stall_timeout: Some(Duration::from_secs(30)),
         };
         let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
         assert_eq!(res.probes[0], Some(want));
@@ -274,10 +354,12 @@ mod tests {
             comm: CommConfig {
                 send_buffers: 1,
                 recv_buffers: 1,
+                ..CommConfig::default()
             },
             balance: BalanceMethod::Slabs {
                 lb_dims: vec![0, 1],
             },
+            stall_timeout: Some(Duration::from_secs(30)),
         };
         let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
         assert_eq!(res.probes[0], Some(want));
@@ -294,5 +376,24 @@ mod tests {
         assert!(res.probes[1].is_some());
         assert!(res.probes[2].is_some());
         assert!(res.probes[3].is_some()); // 7+7 <= 15
+    }
+
+    #[test]
+    fn kernel_panic_on_one_rank_fails_the_world() {
+        let tiling = triangle(2);
+        let bomb = |cell: CellRef<'_>, values: &mut [f64]| {
+            if cell.x[0] == 4 && cell.x[1] == 4 {
+                panic!("driver-level injected fault");
+            }
+            path_kernel(cell, values);
+        };
+        let mut config = HybridConfig::new(2, 1, vec![0]);
+        config.stall_timeout = Some(Duration::from_secs(10));
+        let err = try_run_hybrid::<f64, _>(&tiling, &[12], &bomb, &Probe::default(), &config)
+            .unwrap_err();
+        assert!(
+            matches!(err, RunError::KernelPanic { .. }),
+            "cancellation must not mask the root cause: {err}"
+        );
     }
 }

@@ -29,7 +29,10 @@ pub mod program;
 pub mod spec;
 pub mod traceback;
 
-pub use driver::{run_hybrid, run_hybrid_reduce, HybridConfig, HybridResult};
+pub use driver::{
+    run_hybrid, run_hybrid_reduce, try_run_hybrid, try_run_hybrid_reduce, HybridConfig,
+    HybridResult,
+};
 pub use loadbalance::{BalanceMethod, LoadBalance, MapOwner};
 pub use program::{Program, ProgramError};
 pub use spec::{ProblemSpec, SpecError};

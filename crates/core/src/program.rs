@@ -6,11 +6,12 @@
 //! serial, shared-memory and hybrid run methods; `dpgen-codegen` can also
 //! render it to actual hybrid C source text.
 
-use crate::driver::{run_hybrid, HybridConfig, HybridResult};
+use crate::driver::{run_hybrid, try_run_hybrid_reduce, HybridConfig, HybridResult};
 use crate::spec::{ProblemSpec, SpecError};
 use dpgen_mpisim::Wire;
 use dpgen_runtime::{
-    run_reference, run_shared, Kernel, NodeResult, Probe, ReferenceResult, TilePriority, Value,
+    run_reference, run_shared, Kernel, NodeResult, Probe, ReferenceResult, RunError, TilePriority,
+    Value,
 };
 use dpgen_tiling::{Tiling, TilingError};
 use std::fmt;
@@ -148,6 +149,23 @@ impl Program {
         K: Kernel<T>,
     {
         run_hybrid(&self.tiling, params, kernel, probe, config)
+    }
+
+    /// Fallible [`Program::run_hybrid_with`]: surfaces kernel panics,
+    /// stalls and transport failures as a typed [`RunError`] instead of
+    /// panicking — the entry point for fault-injection runs.
+    pub fn try_run_hybrid_with<T, K>(
+        &self,
+        params: &[i64],
+        kernel: &K,
+        probe: &Probe,
+        config: &HybridConfig,
+    ) -> Result<HybridResult<T>, RunError>
+    where
+        T: Value + Wire,
+        K: Kernel<T>,
+    {
+        try_run_hybrid_reduce(&self.tiling, params, kernel, probe, config, None)
     }
 }
 

@@ -1,27 +1,75 @@
-//! The communicator: ranks, bounded send buffers, polling receives.
+//! The communicator: ranks, bounded send buffers, polling receives, and a
+//! reliable-delivery protocol that survives a faulty wire.
+//!
+//! Every edge packet is framed with a per-destination sequence number and
+//! an FNV-64 checksum. The receiver deduplicates by sequence, buffers
+//! out-of-order frames in a reorder window, and delivers to the inbox
+//! strictly in per-source order; cumulative acks travel on a dedicated
+//! control channel, and unacknowledged frames are retransmitted after an
+//! exponentially backed-off timeout (capped). The result is MPI's
+//! guarantee — reliable, ordered, corruption-free delivery — rebuilt on a
+//! wire that may drop, duplicate, reorder, delay, or bit-flip packets
+//! (see [`crate::fault`]). Faults cost retransmits and dedup drops, all
+//! counted in [`CommStats`]; they never cost correctness.
 
+use crate::fault::{FaultPlan, FaultyWire};
 use crate::packet;
 use crate::stats::CommStats;
 use crate::wire::Wire;
-use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use dpgen_runtime::{EdgeMsg, Transport};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
+use dpgen_runtime::{EdgeMsg, Transport, TransportError};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Buffer configuration (the Section VI-C tunables).
+/// Tunables of the reliable-delivery protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityConfig {
+    /// Base ack timeout: a frame unacknowledged for this long is
+    /// retransmitted, with the timeout doubling per attempt.
+    pub ack_timeout: Duration,
+    /// Cap on the exponential backoff between retransmits of one frame.
+    pub max_backoff: Duration,
+    /// Retransmit budget per frame; 0 disables retransmission entirely
+    /// (frames lost by the wire stay lost — for wedge testing).
+    pub max_retransmits: u32,
+    /// Give up a blocked send (window full, no acks arriving) after this
+    /// long, surfacing [`TransportError::SendTimeout`]. `None` blocks
+    /// forever, restoring the pre-reliability behaviour.
+    pub send_timeout: Option<Duration>,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> ReliabilityConfig {
+        ReliabilityConfig {
+            ack_timeout: Duration::from_millis(3),
+            max_backoff: Duration::from_millis(100),
+            max_retransmits: u32::MAX,
+            send_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Buffer configuration (the Section VI-C tunables) plus the reliability
+/// and fault-injection knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct CommConfig {
     /// Number of send buffers per destination rank: how many packed edges
-    /// may be in flight to one rank before the sender stalls.
+    /// may be in flight to one rank before the sender stalls. Also the
+    /// reliable window — the unacknowledged-frame cap per destination.
     pub send_buffers: usize,
     /// Receive polling batch: at most this many packets are drained from
     /// the wire into the inbox per poll (models the number of posted
     /// receives).
     pub recv_buffers: usize,
+    /// Reliable-delivery tunables.
+    pub reliability: ReliabilityConfig,
+    /// Fault plan injected on every inbound link; `None` leaves the wire
+    /// perfect.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CommConfig {
@@ -29,8 +77,115 @@ impl Default for CommConfig {
         CommConfig {
             send_buffers: 4,
             recv_buffers: 4,
+            reliability: ReliabilityConfig::default(),
+            faults: None,
         }
     }
+}
+
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+/// kind + seq + checksum + payload length.
+const DATA_HEADER: usize = 1 + 8 + 8 + 4;
+/// kind + cumulative ack + checksum.
+const ACK_LEN: usize = 1 + 8 + 8;
+
+/// FNV-1a 64 over a sequence of byte slices.
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn encode_data(seq: u64, inner: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(DATA_HEADER + inner.len());
+    buf.put_u8(KIND_DATA);
+    buf.put_u64_le(seq);
+    buf.put_u64_le(fnv64(&[&[KIND_DATA], &seq.to_le_bytes(), inner]));
+    buf.put_u32_le(inner.len() as u32);
+    buf.put_slice(inner);
+    buf.freeze()
+}
+
+fn encode_ack(cum: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(ACK_LEN);
+    buf.put_u8(KIND_ACK);
+    buf.put_u64_le(cum);
+    buf.put_u64_le(fnv64(&[&[KIND_ACK], &cum.to_le_bytes()]));
+    buf.freeze()
+}
+
+/// A parsed, checksum-verified frame.
+enum Frame {
+    Data { seq: u64, inner: Bytes },
+    Ack { cum: u64 },
+}
+
+/// Parse and verify; `None` means corrupt (bad framing or checksum).
+fn decode_frame(mut pkt: Bytes) -> Option<Frame> {
+    if pkt.is_empty() {
+        return None;
+    }
+    match pkt.get_u8() {
+        KIND_DATA => {
+            if pkt.remaining() < DATA_HEADER - 1 {
+                return None;
+            }
+            let seq = pkt.get_u64_le();
+            let want = pkt.get_u64_le();
+            let len = pkt.get_u32_le() as usize;
+            if pkt.remaining() != len {
+                return None;
+            }
+            let inner_raw = pkt.to_vec();
+            if fnv64(&[&[KIND_DATA], &seq.to_le_bytes(), &inner_raw]) != want {
+                return None;
+            }
+            Some(Frame::Data {
+                seq,
+                inner: Bytes::from(inner_raw),
+            })
+        }
+        KIND_ACK => {
+            if pkt.remaining() != ACK_LEN - 1 {
+                return None;
+            }
+            let cum = pkt.get_u64_le();
+            let want = pkt.get_u64_le();
+            if fnv64(&[&[KIND_ACK], &cum.to_le_bytes()]) != want {
+                return None;
+            }
+            Some(Frame::Ack { cum })
+        }
+        _ => None,
+    }
+}
+
+/// One frame awaiting acknowledgement.
+struct InFlight {
+    seq: u64,
+    frame: Bytes,
+    sent_at: Instant,
+    attempts: u32,
+}
+
+/// Per-destination sender state.
+struct TxState {
+    next_seq: u64,
+    unacked: VecDeque<InFlight>,
+}
+
+/// Per-source receiver state.
+struct RxState {
+    /// Next sequence number to deliver in order.
+    next_expected: u64,
+    /// Out-of-order frames parked until the gap fills.
+    window: BTreeMap<u64, Bytes>,
 }
 
 /// Builds the fully connected communicator and hands one [`RankComm`] to
@@ -43,11 +198,21 @@ impl CommWorld {
         assert!(ranks >= 1, "need at least one rank");
         assert!(config.send_buffers >= 1, "need at least one send buffer");
         assert!(config.recv_buffers >= 1, "need at least one receive buffer");
-        // One bounded channel per directed pair (capacity = send buffers).
-        let mut senders: Vec<Vec<Option<Sender<Bytes>>>> = (0..ranks)
+        let stats: Vec<Arc<CommStats>> = (0..ranks).map(|_| Arc::new(CommStats::new())).collect();
+        // Per directed pair: a bounded data channel (capacity = send
+        // buffers) and an unbounded ack channel. Control traffic must not
+        // compete for data buffers, or two mutually full ranks could
+        // starve each other of the very acks that would free a buffer.
+        let mut data_tx: Vec<Vec<Option<Sender<Bytes>>>> = (0..ranks)
             .map(|_| (0..ranks).map(|_| None).collect())
             .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Bytes>>>> = (0..ranks)
+        let mut ack_tx: Vec<Vec<Option<Sender<Bytes>>>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| None).collect())
+            .collect();
+        let mut data_rx: Vec<Vec<Option<FaultyWire>>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| None).collect())
+            .collect();
+        let mut ack_rx: Vec<Vec<Option<FaultyWire>>> = (0..ranks)
             .map(|_| (0..ranks).map(|_| None).collect())
             .collect();
         for src in 0..ranks {
@@ -55,41 +220,94 @@ impl CommWorld {
                 if src == dst {
                     continue;
                 }
-                let (s, r) = bounded(config.send_buffers);
-                senders[src][dst] = Some(s);
-                receivers[dst][src] = Some(r);
+                let (ds, dr) = bounded(config.send_buffers);
+                let (as_, ar) = unbounded();
+                data_tx[src][dst] = Some(ds);
+                ack_tx[src][dst] = Some(as_);
+                // Ack links get a distinct seed stream (src/dst offset by
+                // the rank count) so data and control faults decorrelate.
+                data_rx[dst][src] = Some(FaultyWire::new(
+                    dr,
+                    config.faults,
+                    src,
+                    dst,
+                    stats[dst].clone(),
+                ));
+                ack_rx[dst][src] = Some(FaultyWire::new(
+                    ar,
+                    config.faults,
+                    src + ranks,
+                    dst + ranks,
+                    stats[dst].clone(),
+                ));
             }
         }
-        senders
-            .into_iter()
-            .zip(receivers)
-            .enumerate()
-            .map(|(rank, (tx, rx))| RankComm {
+        let mut world = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            world.push(RankComm {
                 rank,
+                ranks,
                 config,
-                senders: tx,
-                receivers: rx,
+                data_tx: std::mem::take(&mut data_tx[rank]),
+                ack_tx: std::mem::take(&mut ack_tx[rank]),
+                data_rx: std::mem::take(&mut data_rx[rank]),
+                ack_rx: std::mem::take(&mut ack_rx[rank]),
+                tx: (0..ranks)
+                    .map(|_| {
+                        Mutex::new(TxState {
+                            next_seq: 0,
+                            unacked: VecDeque::new(),
+                        })
+                    })
+                    .collect(),
+                rx: (0..ranks)
+                    .map(|_| {
+                        Mutex::new(RxState {
+                            next_expected: 0,
+                            window: BTreeMap::new(),
+                        })
+                    })
+                    .collect(),
                 inbox: Mutex::new(VecDeque::new()),
                 poll_cursor: AtomicUsize::new(0),
-                stats: Arc::new(CommStats::new()),
+                stats: stats[rank].clone(),
+                drained: Arc::new(AtomicUsize::new(0)),
+                drain_signalled: std::sync::atomic::AtomicBool::new(false),
                 _marker: std::marker::PhantomData,
-            })
-            .collect()
+            });
+        }
+        // All endpoints share one drain counter for world quiescence.
+        let drained = world[0].drained.clone();
+        for rc in &mut world[1..] {
+            rc.drained = drained.clone();
+        }
+        world
     }
 }
 
 /// One rank's endpoint: implements [`Transport`] for the node runtime.
 pub struct RankComm<T> {
     rank: usize,
+    ranks: usize,
     config: CommConfig,
-    senders: Vec<Option<Sender<Bytes>>>,
-    receivers: Vec<Option<Receiver<Bytes>>>,
-    /// Packets drained off the wire, waiting for the scheduler to consume
+    data_tx: Vec<Option<Sender<Bytes>>>,
+    ack_tx: Vec<Option<Sender<Bytes>>>,
+    data_rx: Vec<Option<FaultyWire>>,
+    ack_rx: Vec<Option<FaultyWire>>,
+    /// Per-destination reliable sender state.
+    tx: Vec<Mutex<TxState>>,
+    /// Per-source reliable receiver state.
+    rx: Vec<Mutex<RxState>>,
+    /// Verified, in-order payloads waiting for the scheduler to consume
     /// them. Unbounded so that a stalled sender can always make progress on
     /// its own inbound traffic.
     inbox: Mutex<VecDeque<Bytes>>,
     poll_cursor: AtomicUsize,
     stats: Arc<CommStats>,
+    /// World-shared count of ranks that have fully drained their unacked
+    /// queues after finishing their tiles (see [`Transport::flush`]).
+    drained: Arc<AtomicUsize>,
+    drain_signalled: std::sync::atomic::AtomicBool,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -104,70 +322,221 @@ impl<T: Wire> RankComm<T> {
         self.stats.clone()
     }
 
-    /// Drain up to `recv_buffers` packets from the wire into the inbox.
+    /// Frames queued to `dest` but not yet acknowledged.
+    pub fn unacked_to(&self, dest: usize) -> usize {
+        self.tx[dest].lock().unacked.len()
+    }
+
+    /// Total unacknowledged frames across all destinations.
+    fn total_unacked(&self) -> usize {
+        (0..self.ranks).map(|d| self.unacked_to(d)).sum()
+    }
+
+    /// The exponential-backoff timeout for a frame on its Nth attempt.
+    fn backoff(&self, attempts: u32) -> Duration {
+        let r = &self.config.reliability;
+        let shift = attempts.min(16);
+        r.max_backoff.min(r.ack_timeout.saturating_mul(1 << shift))
+    }
+
+    /// Process one verified inbound frame from `src`.
+    fn handle_frame(&self, src: usize, frame: Frame) {
+        match frame {
+            Frame::Ack { cum } => {
+                self.stats.note_ack_received();
+                let mut tx = self.tx[src].lock();
+                // Cumulative: everything below `cum` is delivered. Stale
+                // (reordered) acks simply pop nothing.
+                while tx.unacked.front().map(|f| f.seq < cum).unwrap_or(false) {
+                    tx.unacked.pop_front();
+                }
+            }
+            Frame::Data { seq, inner } => {
+                let mut rx = self.rx[src].lock();
+                if seq < rx.next_expected || rx.window.contains_key(&seq) {
+                    self.stats.note_dup_drop();
+                } else {
+                    rx.window.insert(seq, inner);
+                    self.stats.note_reorder_depth(rx.window.len());
+                    // Deliver the now-contiguous prefix in order.
+                    while let Some(inner) = {
+                        let next = rx.next_expected;
+                        rx.window.remove(&next)
+                    } {
+                        rx.next_expected += 1;
+                        self.stats.note_recv(inner.len());
+                        self.inbox.lock().push_back(inner);
+                    }
+                }
+                let cum = rx.next_expected;
+                drop(rx);
+                // Ack every data arrival — duplicates included, because a
+                // duplicate usually means our previous ack was lost.
+                if let Some(ack) = &self.ack_tx[src] {
+                    let _ = ack.try_send(encode_ack(cum));
+                    self.stats.note_ack_sent();
+                }
+            }
+        }
+    }
+
+    /// Retransmit timed-out unacked frames (best-effort, never blocking).
+    fn pump_retransmits(&self) {
+        let budget = self.config.reliability.max_retransmits;
+        let now = Instant::now();
+        for dst in 0..self.ranks {
+            let Some(sender) = &self.data_tx[dst] else {
+                continue;
+            };
+            // try_lock: a peer worker already sending to `dst` will pump
+            // on its own; skipping avoids lock convoys.
+            let Some(mut tx) = self.tx[dst].try_lock() else {
+                continue;
+            };
+            for f in tx.unacked.iter_mut() {
+                if f.attempts >= budget {
+                    continue;
+                }
+                if now.duration_since(f.sent_at) < self.backoff(f.attempts) {
+                    continue;
+                }
+                if sender.try_send(f.frame.clone()).is_ok() {
+                    self.stats.note_retransmit();
+                }
+                // Count the attempt even when the wire is full: backoff
+                // must still advance or a full channel spins the pump.
+                f.attempts += 1;
+                f.sent_at = now;
+            }
+        }
+    }
+
+    /// Drain inbound traffic: all pending acks, then up to `recv_buffers`
+    /// data packets round-robin across sources, then retransmits.
     fn progress(&self) {
-        let n = self.receivers.len();
+        // Acks are control traffic: drain fully, they are tiny and free
+        // send-window slots that blocked senders are waiting on.
+        for src in 0..self.ranks {
+            if let Some(wire) = &self.ack_rx[src] {
+                while let Some(pkt) = wire.poll() {
+                    match decode_frame(pkt) {
+                        Some(frame) => self.handle_frame(src, frame),
+                        None => self.stats.note_corrupt_drop(),
+                    }
+                }
+            }
+        }
+        let n = self.data_rx.len();
         let mut drained = 0;
         let start = self.poll_cursor.fetch_add(1, Ordering::Relaxed) % n;
-        let mut inbox = self.inbox.lock();
         for k in 0..n {
             let idx = (start + k) % n;
-            let Some(rx) = &self.receivers[idx] else {
+            let Some(wire) = &self.data_rx[idx] else {
                 continue;
             };
             while drained < self.config.recv_buffers {
-                match rx.try_recv() {
-                    Ok(pkt) => {
-                        self.stats.note_recv(pkt.len());
-                        inbox.push_back(pkt);
+                match wire.poll() {
+                    Some(pkt) => {
+                        match decode_frame(pkt) {
+                            Some(frame) => self.handle_frame(idx, frame),
+                            None => self.stats.note_corrupt_drop(),
+                        }
                         drained += 1;
                     }
-                    Err(_) => break,
+                    None => break,
                 }
             }
             if drained >= self.config.recv_buffers {
                 break;
             }
         }
+        self.pump_retransmits();
     }
 }
 
 impl<T: Wire + Send + Sync + 'static> Transport<T> for RankComm<T> {
-    fn send(&self, dest: usize, msg: EdgeMsg<T>) {
-        let sender = self.senders[dest]
-            .as_ref()
-            .unwrap_or_else(|| panic!("rank {} cannot send to itself/rank {dest}", self.rank));
-        let mut pkt = packet::encode(&msg);
-        let bytes = pkt.len();
+    fn send(&self, dest: usize, msg: EdgeMsg<T>) -> Result<(), TransportError> {
+        let Some(sender) = self.data_tx.get(dest).and_then(Option::as_ref) else {
+            return Err(TransportError::NoRoute {
+                from: self.rank,
+                dest,
+                tile: msg.tile,
+            });
+        };
+        let window = self.config.send_buffers.max(1);
+        let timeout = self.config.reliability.send_timeout;
+        let inner = packet::encode(&msg);
         let mut stalled_at: Option<Instant> = None;
+
+        // Phase 1: claim a window slot (sequence the frame). Blocks with
+        // the progress engine turning while `window` frames are unacked —
+        // the reliable rendering of "no free send buffer".
+        let frame = loop {
+            {
+                let mut tx = self.tx[dest].lock();
+                if tx.unacked.len() < window {
+                    let seq = tx.next_seq;
+                    tx.next_seq += 1;
+                    let frame = encode_data(seq, &inner.to_vec());
+                    tx.unacked.push_back(InFlight {
+                        seq,
+                        frame: frame.clone(),
+                        sent_at: Instant::now(),
+                        attempts: 0,
+                    });
+                    break frame;
+                }
+            }
+            let t0 = *stalled_at.get_or_insert_with(Instant::now);
+            if let Some(limit) = timeout {
+                if t0.elapsed() > limit {
+                    return Err(TransportError::SendTimeout {
+                        from: self.rank,
+                        dest,
+                        waited: t0.elapsed(),
+                        in_flight: self.unacked_to(dest),
+                    });
+                }
+            }
+            // The MPI progress rule: drain inbound while blocked so two
+            // mutually sending ranks cannot deadlock.
+            self.progress();
+            std::thread::yield_now();
+        };
+        self.stats.note_send(frame.len());
+
+        // Phase 2: first transmission. Best-effort spin bounded by the ack
+        // timeout — the frame is already in the unacked queue, so the
+        // retransmit pump finishes the job if the wire stays full.
+        let spin_limit = self.config.reliability.ack_timeout;
+        let mut pkt = frame;
+        let t0 = Instant::now();
         loop {
             match sender.try_send(pkt) {
-                Ok(()) => {
-                    self.stats.note_send(bytes);
-                    if let Some(t0) = stalled_at {
-                        self.stats.note_stall(t0.elapsed());
-                    }
-                    return;
-                }
+                Ok(()) => break,
                 Err(TrySendError::Full(p)) => {
-                    // No free send buffer: keep the progress engine turning
-                    // (drain our own inbound traffic) and retry, as a real
-                    // MPI implementation would.
                     if stalled_at.is_none() {
                         stalled_at = Some(Instant::now());
+                    }
+                    if t0.elapsed() > spin_limit {
+                        break; // retransmit pump takes over
                     }
                     self.progress();
                     std::thread::yield_now();
                     pkt = p;
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    panic!(
-                        "rank {dest} disconnected while rank {} was sending",
-                        self.rank
-                    )
+                    return Err(TransportError::Disconnected {
+                        from: self.rank,
+                        dest,
+                    });
                 }
             }
         }
+        if let Some(t0) = stalled_at {
+            self.stats.note_stall(t0.elapsed());
+        }
+        Ok(())
     }
 
     fn try_recv(&self) -> Option<EdgeMsg<T>> {
@@ -176,6 +545,25 @@ impl<T: Wire + Send + Sync + 'static> Transport<T> for RankComm<T> {
         }
         self.progress();
         self.inbox.lock().pop_front().map(packet::decode)
+    }
+
+    fn flush(&self) -> bool {
+        self.progress();
+        if self.total_unacked() == 0
+            && !self
+                .drain_signalled
+                .swap(true, std::sync::atomic::Ordering::AcqRel)
+        {
+            self.drained.fetch_add(1, Ordering::AcqRel);
+        }
+        // Quiesced only when every rank has drained: a drained rank keeps
+        // acking peers' retransmits until the whole world is done, so no
+        // peer is stranded waiting for acks from an exited rank.
+        self.drained.load(Ordering::Acquire) >= self.ranks
+    }
+
+    fn in_flight(&self) -> usize {
+        self.total_unacked()
     }
 }
 
@@ -192,18 +580,70 @@ mod tests {
         }
     }
 
+    fn faulty_config(seed: u64, rate: f64) -> CommConfig {
+        CommConfig {
+            send_buffers: 2,
+            recv_buffers: 2,
+            reliability: ReliabilityConfig {
+                ack_timeout: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(5),
+                ..ReliabilityConfig::default()
+            },
+            faults: Some(FaultPlan::uniform(seed, rate)),
+        }
+    }
+
     #[test]
     fn two_ranks_exchange_messages() {
         let world = CommWorld::create::<f64>(2, CommConfig::default());
         let (a, b) = (&world[0], &world[1]);
-        a.send(1, msg(1.5));
-        a.send(1, msg(2.5));
+        a.send(1, msg(1.5)).unwrap();
+        a.send(1, msg(2.5)).unwrap();
         assert_eq!(b.try_recv().unwrap().payload, vec![1.5]);
         assert_eq!(b.try_recv().unwrap().payload, vec![2.5]);
         assert!(b.try_recv().is_none());
         assert_eq!(a.stats().msgs_sent(), 2);
         assert_eq!(b.stats().msgs_received(), 2);
         assert!(a.stats().bytes_sent() > 0);
+        assert_eq!(b.stats().dup_drops(), 0);
+        assert_eq!(b.stats().corrupt_drops(), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption_detection() {
+        let inner = vec![1u8, 2, 3, 4, 5];
+        let frame = encode_data(7, &inner);
+        match decode_frame(frame.clone()).unwrap() {
+            Frame::Data { seq, inner: got } => {
+                assert_eq!(seq, 7);
+                assert_eq!(got.to_vec(), inner);
+            }
+            _ => panic!("wrong frame kind"),
+        }
+        // Flip each bit in turn: every corruption must be detected.
+        let raw = frame.to_vec();
+        for bit in 0..raw.len() * 8 {
+            let mut bad = raw.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_frame(Bytes::from(bad)).is_none(),
+                "bit {bit} flip went undetected"
+            );
+        }
+        let ack = encode_ack(42);
+        match decode_frame(ack.clone()).unwrap() {
+            Frame::Ack { cum } => assert_eq!(cum, 42),
+            _ => panic!("wrong frame kind"),
+        }
+        let raw = ack.to_vec();
+        for bit in 0..raw.len() * 8 {
+            let mut bad = raw.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_frame(Bytes::from(bad)).is_none(),
+                "ack bit {bit} flip went undetected"
+            );
+        }
     }
 
     #[test]
@@ -213,6 +653,7 @@ mod tests {
             CommConfig {
                 send_buffers: 1,
                 recv_buffers: 1,
+                ..CommConfig::default()
             },
         );
         let a = &world[0];
@@ -220,7 +661,7 @@ mod tests {
         std::thread::scope(|s| {
             s.spawn(|| {
                 for k in 0..50 {
-                    a.send(1, msg(k as f64));
+                    a.send(1, msg(k as f64)).unwrap();
                 }
             });
             s.spawn(|| {
@@ -251,6 +692,7 @@ mod tests {
             CommConfig {
                 send_buffers: 1,
                 recv_buffers: 1,
+                ..CommConfig::default()
             },
         );
         let a = &world[0];
@@ -258,7 +700,7 @@ mod tests {
         let (got_a, got_b) = std::thread::scope(|s| {
             let ha = s.spawn(|| {
                 for k in 0..200 {
-                    a.send(1, msg(k as f64));
+                    a.send(1, msg(k as f64)).unwrap();
                 }
                 let mut got = 0;
                 while got < 200 {
@@ -272,7 +714,7 @@ mod tests {
             });
             let hb = s.spawn(|| {
                 for k in 0..200 {
-                    b.send(0, msg(-k as f64));
+                    b.send(0, msg(-k as f64)).unwrap();
                 }
                 let mut got = 0;
                 while got < 200 {
@@ -291,11 +733,89 @@ mod tests {
     }
 
     #[test]
+    fn mutual_single_buffer_backpressure_survives_faults() {
+        // The backpressure regression test again, now with every fault
+        // type active on the wire: the MPI progress rule plus the reliable
+        // layer must still terminate with every message delivered exactly
+        // once, in order.
+        let world = CommWorld::create::<f64>(2, faulty_config(0xBEEF, 0.2));
+        let a = &world[0];
+        let b = &world[1];
+        let run = |me: &RankComm<f64>, dst: usize, n: usize| {
+            for k in 0..n {
+                me.send(dst, msg(k as f64)).unwrap();
+            }
+            let mut got = Vec::new();
+            while got.len() < n {
+                if let Some(m) = me.try_recv() {
+                    got.push(m.payload[0]);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            while !me.flush() {
+                std::thread::yield_now();
+            }
+            got
+        };
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| run(a, 1, 120));
+            let hb = s.spawn(|| run(b, 0, 120));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let want: Vec<f64> = (0..120).map(|k| k as f64).collect();
+        assert_eq!(got_a, want, "in-order exactly-once delivery at rank 0");
+        assert_eq!(got_b, want, "in-order exactly-once delivery at rank 1");
+        let faults = a.stats().faults_dropped() + b.stats().faults_dropped();
+        assert!(faults > 0, "seeded plan must actually drop packets");
+        assert!(
+            a.stats().retransmits() + b.stats().retransmits() > 0,
+            "drops must cost retransmits"
+        );
+    }
+
+    #[test]
+    fn lossy_wire_delivers_everything_in_order() {
+        for seed in [1u64, 2, 3, 99] {
+            let world = CommWorld::create::<f64>(2, faulty_config(seed, 0.3));
+            let a = &world[0];
+            let b = &world[1];
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for k in 0..150 {
+                        a.send(1, msg(k as f64)).unwrap();
+                    }
+                    while !a.flush() {
+                        std::thread::yield_now();
+                    }
+                });
+                s.spawn(|| {
+                    let mut got = 0;
+                    while got < 150 {
+                        if let Some(m) = b.try_recv() {
+                            assert_eq!(m.payload, vec![got as f64], "seed {seed}");
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    while !b.flush() {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            assert_eq!(a.stats().msgs_sent(), 150);
+            assert_eq!(b.stats().msgs_received(), 150);
+            assert_eq!(a.in_flight(), 0, "all frames acknowledged after flush");
+        }
+    }
+
+    #[test]
     fn three_ranks_route_correctly() {
         let world = CommWorld::create::<f64>(3, CommConfig::default());
-        world[0].send(2, msg(7.0));
-        world[1].send(2, msg(8.0));
-        world[2].send(0, msg(9.0));
+        world[0].send(2, msg(7.0)).unwrap();
+        world[1].send(2, msg(8.0)).unwrap();
+        world[2].send(0, msg(9.0)).unwrap();
         let mut got = Vec::new();
         while let Some(m) = world[2].try_recv() {
             got.push(m.payload[0]);
@@ -307,9 +827,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot send to itself")]
-    fn self_send_panics() {
+    fn self_send_is_a_typed_no_route() {
         let world = CommWorld::create::<f64>(2, CommConfig::default());
-        world[0].send(0, msg(0.0));
+        match world[0].send(0, msg(0.0)) {
+            Err(TransportError::NoRoute {
+                from: 0, dest: 0, ..
+            }) => {}
+            other => panic!("expected NoRoute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_retransmit_budget_strands_dropped_frames() {
+        // 100% drop and no retransmits: the receiver never sees anything,
+        // the sender's window stays full, and a bounded send_timeout
+        // surfaces the wedge as a typed error instead of hanging.
+        let config = CommConfig {
+            send_buffers: 2,
+            recv_buffers: 2,
+            reliability: ReliabilityConfig {
+                ack_timeout: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(1),
+                max_retransmits: 0,
+                send_timeout: Some(Duration::from_millis(50)),
+            },
+            faults: Some(FaultPlan::drops(7, 1.0)),
+        };
+        let world = CommWorld::create::<f64>(2, config);
+        let a = &world[0];
+        let mut sent = 0;
+        let err = loop {
+            match a.send(1, msg(sent as f64)) {
+                Ok(()) => sent += 1,
+                Err(e) => break e,
+            }
+            assert!(sent <= 2, "window must cap unacked sends");
+        };
+        match err {
+            TransportError::SendTimeout { in_flight, .. } => assert_eq!(in_flight, 2),
+            other => panic!("expected SendTimeout, got {other:?}"),
+        }
+        assert!(world[1].try_recv().is_none(), "nothing ever arrives");
     }
 }

@@ -16,16 +16,21 @@
 //! * a send with no free buffer **stalls** (counted in [`CommStats`]) and
 //!   keeps draining its own inbound traffic while waiting — the MPI progress
 //!   rule that prevents two mutually sending ranks from deadlocking;
-//! * receives are polled (`try_recv`), batched by the receive-buffer count.
+//! * receives are polled (`try_recv`), batched by the receive-buffer count;
+//! * every frame carries a sequence number and checksum, and the [`comm`]
+//!   layer acknowledges, deduplicates, reorders and retransmits — so the
+//!   wire may misbehave (see [`fault`]) without the program noticing.
 //!
 //! [`RankComm`] implements [`dpgen_runtime::Transport`], so the node runtime
 //! is oblivious to whether it talks to this simulation or to nothing.
 
 pub mod comm;
+pub mod fault;
 pub mod packet;
 pub mod stats;
 pub mod wire;
 
-pub use comm::{CommConfig, CommWorld, RankComm};
+pub use comm::{CommConfig, CommWorld, RankComm, ReliabilityConfig};
+pub use fault::FaultPlan;
 pub use stats::CommStats;
 pub use wire::Wire;

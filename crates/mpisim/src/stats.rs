@@ -4,8 +4,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Counters kept by each [`crate::RankComm`]; read them after a run to
-/// report communication volume and send-buffer pressure (the Section VI-C
-/// buffer-count experiment).
+/// report communication volume, send-buffer pressure (the Section VI-C
+/// buffer-count experiment), and the reliability protocol's work: how many
+/// frames were retransmitted, how many arrivals were deduplicated or
+/// rejected as corrupt, and how deep the receive-side reorder window grew.
+///
+/// The `faults_*` counters record what the [`crate::fault::FaultyWire`]
+/// injected; the protocol counters record what the reliable layer did
+/// about it. In a correct run, injected faults cost retransmits and
+/// dedup drops — never messages.
 #[derive(Debug, Default)]
 pub struct CommStats {
     msgs_sent: AtomicU64,
@@ -14,6 +21,18 @@ pub struct CommStats {
     bytes_received: AtomicU64,
     send_stalls: AtomicU64,
     stall_ns: AtomicU64,
+    // Reliable-delivery protocol counters.
+    retransmits: AtomicU64,
+    dup_drops: AtomicU64,
+    corrupt_drops: AtomicU64,
+    acks_sent: AtomicU64,
+    acks_received: AtomicU64,
+    max_reorder_depth: AtomicU64,
+    // Injected-fault counters (the FaultyWire's side of the ledger).
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    faults_reordered: AtomicU64,
+    faults_corrupted: AtomicU64,
 }
 
 impl CommStats {
@@ -39,22 +58,63 @@ impl CommStats {
             .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
     }
 
-    /// Messages sent by this rank.
+    pub(crate) fn note_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dup_drop(&self) {
+        self.dup_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_corrupt_drop(&self) {
+        self.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_ack_sent(&self) {
+        self.acks_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_ack_received(&self) {
+        self.acks_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reorder_depth(&self, depth: usize) {
+        self.max_reorder_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault_dropped(&self) {
+        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault_duplicated(&self) {
+        self.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault_reordered(&self) {
+        self.faults_reordered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault_corrupted(&self) {
+        self.faults_corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages sent by this rank (first transmissions, not retransmits).
     pub fn msgs_sent(&self) -> u64 {
         self.msgs_sent.load(Ordering::Relaxed)
     }
 
-    /// Bytes sent by this rank.
+    /// Bytes sent by this rank (first transmissions, not retransmits).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
     }
 
-    /// Messages received by this rank.
+    /// Messages delivered to this rank (post dedup/reorder).
     pub fn msgs_received(&self) -> u64 {
         self.msgs_received.load(Ordering::Relaxed)
     }
 
-    /// Bytes received by this rank.
+    /// Bytes delivered to this rank (post dedup/reorder).
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
     }
@@ -67,6 +127,56 @@ impl CommStats {
     /// Total time spent stalled in sends.
     pub fn stall_time(&self) -> Duration {
         Duration::from_nanos(self.stall_ns.load(Ordering::Relaxed))
+    }
+
+    /// Data frames retransmitted after an ack timeout.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Arrived data frames discarded as already-delivered duplicates.
+    pub fn dup_drops(&self) -> u64 {
+        self.dup_drops.load(Ordering::Relaxed)
+    }
+
+    /// Arrived frames discarded for checksum or framing failures.
+    pub fn corrupt_drops(&self) -> u64 {
+        self.corrupt_drops.load(Ordering::Relaxed)
+    }
+
+    /// Acks transmitted by this rank.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent.load(Ordering::Relaxed)
+    }
+
+    /// Acks received by this rank.
+    pub fn acks_received(&self) -> u64 {
+        self.acks_received.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the out-of-order receive window ever grew, in frames.
+    pub fn max_reorder_depth(&self) -> u64 {
+        self.max_reorder_depth.load(Ordering::Relaxed)
+    }
+
+    /// Packets discarded by the fault injector on inbound links.
+    pub fn faults_dropped(&self) -> u64 {
+        self.faults_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Packets duplicated by the fault injector on inbound links.
+    pub fn faults_duplicated(&self) -> u64 {
+        self.faults_duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Packets delayed/reordered by the fault injector on inbound links.
+    pub fn faults_reordered(&self) -> u64 {
+        self.faults_reordered.load(Ordering::Relaxed)
+    }
+
+    /// Packets bit-flipped by the fault injector on inbound links.
+    pub fn faults_corrupted(&self) -> u64 {
+        self.faults_corrupted.load(Ordering::Relaxed)
     }
 }
 
@@ -87,5 +197,33 @@ mod tests {
         assert_eq!(s.bytes_received(), 100);
         assert_eq!(s.send_stalls(), 1);
         assert!(s.stall_time() >= Duration::from_micros(5));
+    }
+
+    #[test]
+    fn reliability_counters_accumulate() {
+        let s = CommStats::new();
+        s.note_retransmit();
+        s.note_retransmit();
+        s.note_dup_drop();
+        s.note_corrupt_drop();
+        s.note_ack_sent();
+        s.note_ack_received();
+        s.note_reorder_depth(3);
+        s.note_reorder_depth(7);
+        s.note_reorder_depth(2);
+        s.note_fault_dropped();
+        s.note_fault_duplicated();
+        s.note_fault_reordered();
+        s.note_fault_corrupted();
+        assert_eq!(s.retransmits(), 2);
+        assert_eq!(s.dup_drops(), 1);
+        assert_eq!(s.corrupt_drops(), 1);
+        assert_eq!(s.acks_sent(), 1);
+        assert_eq!(s.acks_received(), 1);
+        assert_eq!(s.max_reorder_depth(), 7);
+        assert_eq!(s.faults_dropped(), 1);
+        assert_eq!(s.faults_duplicated(), 1);
+        assert_eq!(s.faults_reordered(), 1);
+        assert_eq!(s.faults_corrupted(), 1);
     }
 }

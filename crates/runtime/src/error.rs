@@ -1,0 +1,239 @@
+//! Typed failures of a node run.
+//!
+//! The paper's generated programs assume a perfectly reliable MPI and a
+//! kernel that never faults; any violation hangs or aborts the whole job
+//! with no diagnosis. The node runtime instead converts the three ways a
+//! run can go wrong into a typed [`RunError`]:
+//!
+//! * a transport failure ([`TransportError`]) — mis-partitioning, a dead
+//!   peer, or an exhausted retransmit budget;
+//! * a stall — no tile executed, no edge delivered anywhere on the node
+//!   for the configured watchdog window; the error carries a
+//!   [`StallSnapshot`] of the scheduler so the wedge is debuggable;
+//! * a panicking kernel — caught per tile, quarantining the failing tile
+//!   coordinate instead of poisoning the worker pool.
+
+use crate::transport::TransportError;
+use dpgen_tiling::Coord;
+use std::fmt;
+use std::time::Duration;
+
+/// Diagnostic state captured when the stall watchdog fires: what the node
+/// was waiting on when progress stopped.
+#[derive(Debug, Clone)]
+pub struct StallSnapshot {
+    /// The stalled rank.
+    pub rank: usize,
+    /// How long the node went without any progress before the watchdog
+    /// fired.
+    pub stalled_for: Duration,
+    /// Tiles executed before the stall.
+    pub tiles_executed: u64,
+    /// Tiles this rank owns in total.
+    pub tiles_owned: u64,
+    /// Tiles sitting ready to execute (should be 0 in a true stall).
+    pub ready_tiles: usize,
+    /// Tiles with at least one but not all dependencies satisfied.
+    pub pending_tiles: usize,
+    /// Pending-tile count per scheduler shard (only nonzero shards are
+    /// interesting; the vector keeps shard indices aligned).
+    pub pending_per_shard: Vec<usize>,
+    /// Edges buffered on pending tiles, awaiting their siblings.
+    pub buffered_edges: usize,
+    /// Frames this rank sent that were never acknowledged.
+    pub unacked_frames: usize,
+    /// Per-worker time since each worker last made progress.
+    pub worker_last_progress: Vec<Duration>,
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} made no progress for {:?}: {}/{} tiles executed, \
+             {} ready, {} pending ({} buffered edges), {} unacked frames",
+            self.rank,
+            self.stalled_for,
+            self.tiles_executed,
+            self.tiles_owned,
+            self.ready_tiles,
+            self.pending_tiles,
+            self.buffered_edges,
+            self.unacked_frames,
+        )?;
+        let busy: Vec<String> = self
+            .pending_per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, n)| format!("shard {i}: {n}"))
+            .collect();
+        if !busy.is_empty() {
+            write!(f, "; pending by shard [{}]", busy.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Details of a malformed incoming edge (see [`RunError::BadEdge`]).
+#[derive(Debug, Clone)]
+pub struct EdgeFault {
+    /// The rank that received the edge.
+    pub rank: usize,
+    /// The tile the edge claimed to feed.
+    pub tile: Coord,
+    /// The claimed dependency offset.
+    pub delta: Coord,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for EdgeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} received invalid edge for tile {} (offset {}): {}",
+            self.rank, self.tile, self.delta, self.detail
+        )
+    }
+}
+
+/// A failed node run.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The transport failed (see [`TransportError`]).
+    Transport(TransportError),
+    /// The node made no progress for the watchdog window; the run was
+    /// terminated instead of hanging forever.
+    Stalled(Box<StallSnapshot>),
+    /// The kernel panicked while executing a tile. The tile coordinate is
+    /// quarantined in the error; the rest of the pool shut down cleanly.
+    KernelPanic {
+        /// The rank the panic occurred on.
+        rank: usize,
+        /// The worker thread that caught it.
+        worker: usize,
+        /// The tile being executed.
+        tile: Coord,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// An incoming edge did not match the tiling — an unknown dependency
+    /// offset or a payload of the wrong length. With a checksummed
+    /// transport this indicates a peer running a different problem.
+    /// (Boxed to keep `Result<_, RunError>` small on the happy path.)
+    BadEdge(Box<EdgeFault>),
+    /// Another rank failed first; this rank shut down in sympathy.
+    Cancelled {
+        /// The rank that observed the cancellation.
+        rank: usize,
+    },
+}
+
+impl RunError {
+    /// Ranking for choosing the most diagnostic error out of a multi-rank
+    /// failure: root causes beat symptoms beat sympathetic shutdowns.
+    pub fn severity(&self) -> u8 {
+        match self {
+            RunError::KernelPanic { .. } => 5,
+            RunError::BadEdge(_) => 4,
+            RunError::Stalled(_) => 3,
+            RunError::Transport(_) => 2,
+            RunError::Cancelled { .. } => 1,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Transport(e) => write!(f, "transport failure: {e}"),
+            RunError::Stalled(s) => write!(f, "run stalled: {s}"),
+            RunError::KernelPanic {
+                rank,
+                worker,
+                tile,
+                message,
+            } => write!(
+                f,
+                "kernel panicked on rank {rank} worker {worker} at tile {tile}: {message}"
+            ),
+            RunError::BadEdge(e) => write!(f, "{e}"),
+            RunError::Cancelled { rank } => {
+                write!(f, "rank {rank} cancelled after a failure elsewhere")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for RunError {
+    fn from(e: TransportError) -> RunError {
+        RunError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StallSnapshot {
+        StallSnapshot {
+            rank: 2,
+            stalled_for: Duration::from_millis(500),
+            tiles_executed: 7,
+            tiles_owned: 12,
+            ready_tiles: 0,
+            pending_tiles: 3,
+            pending_per_shard: vec![0, 2, 0, 1],
+            buffered_edges: 4,
+            unacked_frames: 5,
+            worker_last_progress: vec![Duration::from_millis(510); 2],
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn stall_display_names_the_wedge() {
+        let msg = RunError::Stalled(Box::new(snapshot())).to_string();
+        assert!(msg.contains("7/12 tiles"), "{msg}");
+        assert!(msg.contains("shard 1: 2"), "{msg}");
+        assert!(msg.contains("5 unacked"), "{msg}");
+    }
+
+    #[test]
+    fn severity_orders_root_causes_first() {
+        let panic = RunError::KernelPanic {
+            rank: 0,
+            worker: 0,
+            tile: Coord::from_slice(&[1, 2]),
+            message: "boom".into(),
+        };
+        let stall = RunError::Stalled(Box::new(snapshot()));
+        let cancelled = RunError::Cancelled { rank: 1 };
+        assert!(panic.severity() > stall.severity());
+        assert!(stall.severity() > cancelled.severity());
+    }
+
+    #[test]
+    fn transport_error_converts() {
+        let e: RunError = TransportError::NoRoute {
+            from: 0,
+            dest: 3,
+            tile: Coord::from_slice(&[0, 0]),
+        }
+        .into();
+        assert!(e.to_string().contains("no route"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

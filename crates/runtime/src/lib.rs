@@ -27,6 +27,7 @@
 //! paper's column-major-style priority (Figure 5) and the level-set
 //! alternative of Figure 4(b).
 
+pub mod error;
 pub mod groups;
 pub mod kernel;
 pub mod memory;
@@ -39,12 +40,14 @@ pub mod sharded;
 pub mod stats;
 pub mod transport;
 
+pub use error::{EdgeFault, RunError, StallSnapshot};
 pub use groups::run_shared_grouped;
 pub use kernel::{Kernel, Value};
 pub use memory::MemoryStats;
 pub use node::{
-    run_node, run_node_reduce, run_shared, run_shared_reduce, NodeConfig, NodeResult, Probe,
-    SingleOwner, TileOwner,
+    run_node, run_node_reduce, run_shared, run_shared_reduce, try_run_shared,
+    try_run_shared_reduce, NodeConfig, NodeResult, Probe, SingleOwner, TileOwner,
+    DEFAULT_STALL_TIMEOUT,
 };
 pub use priority::TilePriority;
 pub use reduce::Reduction;
@@ -52,4 +55,4 @@ pub use reference::{run_reference, ReferenceResult};
 pub use scheduler::Scheduler;
 pub use sharded::{EdgeDelivery, ShardedScheduler};
 pub use stats::RunStats;
-pub use transport::{EdgeMsg, NullTransport, Transport};
+pub use transport::{EdgeMsg, NullTransport, Transport, TransportError};

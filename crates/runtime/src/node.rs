@@ -17,9 +17,20 @@
 //! [`Tiling::scan_tile_fast`], which hoists the per-cell validity checks
 //! out of contiguous interior runs.
 //!
+//! Failures are typed, not fatal ([`RunError`]): the kernel runs under
+//! `catch_unwind` so a panicking tile quarantines its coordinate instead of
+//! tearing down the process; malformed incoming edges (unknown offset,
+//! wrong payload length) become [`RunError::BadEdge`]; transport failures
+//! propagate; and a **stall watchdog** converts a silent hang — no tile
+//! executed, no edge delivered for [`NodeConfig::stall_timeout`] — into
+//! [`RunError::Stalled`] carrying a [`StallSnapshot`] of the scheduler.
+//! When any worker fails, the pool drains out and, if a shared
+//! [`NodeConfig::cancel`] flag was provided, sibling ranks are told to stop.
+//!
 //! [`EdgeLayout::max_cells`]: dpgen_tiling::EdgeLayout::max_cells
 //! [`Tiling::scan_tile_fast`]: dpgen_tiling::Tiling::scan_tile_fast
 
+use crate::error::{EdgeFault, RunError, StallSnapshot};
 use crate::kernel::{Kernel, Value};
 use crate::memory::MemoryStats;
 use crate::priority::TilePriority;
@@ -30,7 +41,8 @@ use crate::transport::{EdgeMsg, Transport};
 use dpgen_tiling::{Coord, Tiling, MAX_DIMS};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,7 +72,21 @@ pub struct NodeConfig {
     pub priority: TilePriority,
     /// This node's rank.
     pub rank: usize,
+    /// The stall watchdog: when the node makes no progress (no tile
+    /// executed, no edge delivered or received) for this long, the run
+    /// fails with [`RunError::Stalled`] instead of hanging. `None`
+    /// disables the watchdog.
+    pub stall_timeout: Option<Duration>,
+    /// Cross-rank cancellation flag. A failing rank sets it; ranks observe
+    /// it between tiles and bail out with [`RunError::Cancelled`] instead
+    /// of waiting out their own watchdog.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
+
+/// Default watchdog window: generous enough for any healthy run, small
+/// enough that a wedged CI job dies with a diagnosis well before the job
+/// timeout.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl NodeConfig {
     /// Single-rank configuration with the given thread count and the
@@ -70,7 +96,15 @@ impl NodeConfig {
             threads,
             priority: TilePriority::column_major(dims),
             rank: 0,
+            stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
+            cancel: None,
         }
+    }
+
+    /// Same configuration with a different watchdog window.
+    pub fn with_stall_timeout(mut self, timeout: Option<Duration>) -> NodeConfig {
+        self.stall_timeout = timeout;
+        self
     }
 }
 
@@ -235,11 +269,25 @@ pub struct NodeResult<T> {
     pub stats: RunStats,
 }
 
+/// Stringify a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else is reported opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Execute this rank's share of the problem.
 ///
 /// Blocks until every tile owned by `config.rank` (per `owner`) has been
 /// executed. Edges for foreign tiles go through `transport`; edges arriving
-/// on `transport` are fed into the local scheduler.
+/// on `transport` are fed into the local scheduler. Fails with a typed
+/// [`RunError`] on a panicking kernel, a malformed edge, a transport
+/// failure, or a watchdog-detected stall.
 pub fn run_node<T, K, O, Tr>(
     tiling: &Tiling,
     params: &[i64],
@@ -248,7 +296,7 @@ pub fn run_node<T, K, O, Tr>(
     transport: &Tr,
     probe: &Probe,
     config: &NodeConfig,
-) -> NodeResult<T>
+) -> Result<NodeResult<T>, RunError>
 where
     T: Value,
     K: Kernel<T>,
@@ -273,7 +321,7 @@ pub fn run_node_reduce<T, K, O, Tr>(
     probe: &Probe,
     config: &NodeConfig,
     reduce: Option<&Reduction<T>>,
-) -> NodeResult<T>
+) -> Result<NodeResult<T>, RunError>
 where
     T: Value,
     K: Kernel<T>,
@@ -328,12 +376,41 @@ where
     let idle_ns = AtomicU64::new(0);
     let tiles_per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
+    // --- Failure plumbing: the first error wins, everyone else drains out.
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<RunError>> = Mutex::new(None);
+    // Progress clocks for the stall watchdog, as nanoseconds since
+    // `t_start` (monotone via fetch_max, so late writers never rewind).
+    let last_progress = AtomicU64::new(0);
+    let worker_progress: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+
     // Group probe coordinates by owning tile for cheap per-tile lookup.
     // When nothing is probed, workers skip the per-tile hash lookup and the
     // results mutex entirely.
     let probe_by_tile = probe_map(tiling, params, probe);
     let probes_enabled = !probe_by_tile.is_empty();
     let probe_results: Mutex<Vec<Option<T>>> = Mutex::new(vec![None; probe.len()]);
+
+    // The watchdog's diagnostic dump: what was the node waiting on?
+    let snapshot = |stalled_for: Duration| -> StallSnapshot {
+        let now = t_start.elapsed();
+        StallSnapshot {
+            rank: config.rank,
+            stalled_for,
+            tiles_executed: executed.load(Ordering::Acquire),
+            tiles_owned: owned,
+            ready_tiles: sched.ready_len(),
+            pending_tiles: sched.pending_len(),
+            pending_per_shard: sched.pending_per_shard(),
+            buffered_edges: mem.current_edges().max(0) as usize,
+            unacked_frames: transport.in_flight(),
+            worker_last_progress: worker_progress
+                .iter()
+                .map(|a| now.saturating_sub(Duration::from_nanos(a.load(Ordering::Acquire))))
+                .collect(),
+            threads,
+        }
+    };
 
     std::thread::scope(|scope| {
         for w in 0..threads {
@@ -352,6 +429,11 @@ where
             let mem = &mem;
             let probe_by_tile = &probe_by_tile;
             let probe_results = &probe_results;
+            let failed = &failed;
+            let first_error = &first_error;
+            let last_progress = &last_progress;
+            let worker_progress = &worker_progress;
+            let snapshot = &snapshot;
             scope.spawn(move || {
                 let mut point = tiling.make_point(params);
                 let mut pool: TileBufferPool<T> = TileBufferPool::new();
@@ -360,7 +442,33 @@ where
                 // steady-state delivery never regrows it (deliver_batch
                 // drains it in place).
                 let mut batch: Vec<EdgeDelivery<T>> = Vec::with_capacity(tiling.deps().len() + 4);
+                let note_progress = || {
+                    let now = t_start.elapsed().as_nanos() as u64;
+                    last_progress.fetch_max(now, Ordering::Release);
+                    worker_progress[w].fetch_max(now, Ordering::Release);
+                };
+                let fail = |e: RunError| {
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    drop(slot);
+                    failed.store(true, Ordering::Release);
+                    if let Some(c) = &config.cancel {
+                        c.store(true, Ordering::Release);
+                    }
+                    cv.notify_all();
+                };
                 loop {
+                    if failed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Some(c) = &config.cancel {
+                        if c.load(Ordering::Acquire) {
+                            fail(RunError::Cancelled { rank: config.rank });
+                            break;
+                        }
+                    }
                     // Step 6 of the paper's loop: poll for incoming edges,
                     // delivered as one shard-grouped batch.
                     while let Some(msg) = transport.try_recv() {
@@ -373,6 +481,7 @@ where
                         });
                     }
                     if !batch.is_empty() {
+                        note_progress();
                         let ready = sched.deliver_batch(w, &mut batch);
                         for _ in 0..ready.min(threads) {
                             cv.notify_one();
@@ -383,122 +492,185 @@ where
                             break;
                         }
                         // Nothing ready anywhere: wait briefly (re-polling
-                        // the transport on timeout).
+                        // the transport on timeout), then let the watchdog
+                        // judge how long the whole node has been idle.
                         let t0 = Instant::now();
                         {
                             let mut guard = cv_mutex.lock();
-                            if sched.ready_len() == 0 && executed.load(Ordering::Acquire) < owned {
+                            if sched.ready_len() == 0
+                                && executed.load(Ordering::Acquire) < owned
+                                && !failed.load(Ordering::Acquire)
+                            {
                                 cv.wait_for(&mut guard, Duration::from_micros(200));
                             }
                         }
                         idle_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        if let Some(limit) = config.stall_timeout {
+                            let idle = t_start.elapsed().saturating_sub(Duration::from_nanos(
+                                last_progress.load(Ordering::Acquire),
+                            ));
+                            if idle > limit {
+                                fail(RunError::Stalled(Box::new(snapshot(idle))));
+                                break;
+                            }
+                        }
                         continue;
                     };
+                    note_progress();
 
-                    // --- Steps 2-3: unpack and execute. The tile value
-                    // buffer comes from the worker's pool; every write is
-                    // tracked as a min/max location range so release only
-                    // clears what this tile touched.
+                    // --- Steps 2-5 under typed-error discipline: any
+                    // failure breaks out of the labelled block and fails
+                    // the run; the dirty tile buffer is discarded (its
+                    // written range is unknown after a mid-scan panic).
                     mem.tile_allocated(layout.size());
                     let mut values: Vec<T> = pool.acquire(layout.size(), mem);
                     let mut written_lo = usize::MAX;
                     let mut written_hi = 0usize;
-                    for (delta, payload) in edges {
-                        let edge = tiling
-                            .edge_for(&delta)
-                            .expect("received edge with unknown offset");
-                        let src = tile.add(&delta);
-                        tiling.set_tile(&src, &mut point);
-                        let mut k = 0usize;
-                        edge.for_each_cell(&mut point, |j| {
-                            let loc = layout.loc_ghost(j, &delta);
-                            values[loc] = payload[k];
-                            written_lo = written_lo.min(loc);
-                            written_hi = written_hi.max(loc);
-                            k += 1;
-                        })
-                        .expect("edge unpack scan failed");
-                        debug_assert_eq!(k, payload.len(), "edge payload length mismatch");
-                        // The consumed payload feeds the pack-side free
-                        // list, closing the allocation loop.
-                        pool.recycle_payload(payload);
-                    }
-                    let counts = if let Some(r) = reduce {
-                        let mut acc = r.identity();
-                        let counts = tiling
-                            .scan_tile_fast(&tile, &mut point, |cell| {
-                                kernel.compute(cell, &mut values);
-                                acc = r.combine(acc, values[cell.loc]);
-                                written_lo = written_lo.min(cell.loc);
-                                written_hi = written_hi.max(cell.loc);
+                    let outcome: Result<_, RunError> = 'tile: {
+                        // --- Steps 2-3: unpack and execute. Every write is
+                        // tracked as a min/max location range so release
+                        // only clears what this tile touched.
+                        for (delta, payload) in edges {
+                            let Some(edge) = tiling.edge_for(&delta) else {
+                                break 'tile Err(RunError::BadEdge(Box::new(EdgeFault {
+                                    rank: config.rank,
+                                    tile,
+                                    delta,
+                                    detail: "unknown dependency offset".to_string(),
+                                })));
+                            };
+                            let src = tile.add(&delta);
+                            tiling.set_tile(&src, &mut point);
+                            let mut k = 0usize;
+                            let plen = payload.len();
+                            edge.for_each_cell(&mut point, |j| {
+                                if k < plen {
+                                    let loc = layout.loc_ghost(j, &delta);
+                                    values[loc] = payload[k];
+                                    written_lo = written_lo.min(loc);
+                                    written_hi = written_hi.max(loc);
+                                }
+                                k += 1;
                             })
-                            .expect("tile scan failed");
-                        r.merge(acc);
-                        counts
-                    } else {
-                        tiling
-                            .scan_tile_fast(&tile, &mut point, |cell| {
-                                kernel.compute(cell, &mut values);
-                                written_lo = written_lo.min(cell.loc);
-                                written_hi = written_hi.max(cell.loc);
+                            .expect("edge unpack scan failed");
+                            if k != plen {
+                                break 'tile Err(RunError::BadEdge(Box::new(EdgeFault {
+                                    rank: config.rank,
+                                    tile,
+                                    delta,
+                                    detail: format!(
+                                        "edge payload carries {plen} cells, tiling expects {k}"
+                                    ),
+                                })));
+                            }
+                            // The consumed payload feeds the pack-side free
+                            // list, closing the allocation loop.
+                            pool.recycle_payload(payload);
+                        }
+                        // The kernel is user code: a panic quarantines this
+                        // tile's coordinate instead of killing the process.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(r) = reduce {
+                                let mut acc = r.identity();
+                                let counts = tiling
+                                    .scan_tile_fast(&tile, &mut point, |cell| {
+                                        kernel.compute(cell, &mut values);
+                                        acc = r.combine(acc, values[cell.loc]);
+                                        written_lo = written_lo.min(cell.loc);
+                                        written_hi = written_hi.max(cell.loc);
+                                    })
+                                    .expect("tile scan failed");
+                                r.merge(acc);
+                                counts
+                            } else {
+                                tiling
+                                    .scan_tile_fast(&tile, &mut point, |cell| {
+                                        kernel.compute(cell, &mut values);
+                                        written_lo = written_lo.min(cell.loc);
+                                        written_hi = written_hi.max(cell.loc);
+                                    })
+                                    .expect("tile scan failed")
+                            }
+                        }));
+                        let counts = match caught {
+                            Ok(counts) => counts,
+                            Err(payload) => {
+                                break 'tile Err(RunError::KernelPanic {
+                                    rank: config.rank,
+                                    worker: w,
+                                    tile,
+                                    message: panic_message(payload),
+                                });
+                            }
+                        };
+
+                        if probes_enabled {
+                            if let Some(list) = probe_by_tile.get(&tile) {
+                                let mut res = probe_results.lock();
+                                for (idx, x) in list {
+                                    let mut local = [0i64; MAX_DIMS];
+                                    for k in 0..d {
+                                        local[k] = x[k] - widths[k] * tile[k];
+                                    }
+                                    res[*idx] = Some(values[layout.loc(&local[..d])]);
+                                }
+                            }
+                        }
+
+                        // --- Step 4: pack each valid outgoing edge. Local
+                        // edges accumulate into one batch delivered below;
+                        // remote edges go straight to the transport.
+                        for (dep_idx, dep) in tiling.deps().iter().enumerate() {
+                            let consumer = tile.sub(&dep.delta);
+                            if !tiling.tile_in_space(&consumer, &mut point) {
+                                continue;
+                            }
+                            let edge = &tiling.edges()[dep_idx];
+                            tiling.set_tile(&tile, &mut point);
+                            let mut payload = pool.take_payload(edge.max_cells(), mem);
+                            edge.for_each_cell(&mut point, |j| {
+                                payload.push(values[layout.loc(j)]);
                             })
-                            .expect("tile scan failed")
+                            .expect("edge pack scan failed");
+                            edge_cells.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                            let dest = owner.owner_of(&consumer);
+                            if dest == config.rank {
+                                let total = tiling.dep_total(&consumer, &mut point);
+                                edges_local.fetch_add(1, Ordering::Relaxed);
+                                batch.push(EdgeDelivery {
+                                    tile: consumer,
+                                    delta: dep.delta,
+                                    payload,
+                                    total,
+                                });
+                            } else {
+                                edges_remote.fetch_add(1, Ordering::Relaxed);
+                                if let Err(e) = transport.send(
+                                    dest,
+                                    EdgeMsg {
+                                        tile: consumer,
+                                        delta: dep.delta,
+                                        payload,
+                                    },
+                                ) {
+                                    break 'tile Err(e.into());
+                                }
+                            }
+                        }
+                        Ok(counts)
+                    };
+                    let counts = match outcome {
+                        Ok(counts) => counts,
+                        Err(e) => {
+                            // Discard the possibly half-written buffer.
+                            mem.tile_released(layout.size());
+                            fail(e);
+                            break;
+                        }
                     };
                     cells.fetch_add(counts.total(), Ordering::Relaxed);
                     interior.fetch_add(counts.interior_cells, Ordering::Relaxed);
                     boundary.fetch_add(counts.boundary_cells, Ordering::Relaxed);
-
-                    if probes_enabled {
-                        if let Some(list) = probe_by_tile.get(&tile) {
-                            let mut res = probe_results.lock();
-                            for (idx, x) in list {
-                                let mut local = [0i64; MAX_DIMS];
-                                for k in 0..d {
-                                    local[k] = x[k] - widths[k] * tile[k];
-                                }
-                                res[*idx] = Some(values[layout.loc(&local[..d])]);
-                            }
-                        }
-                    }
-
-                    // --- Step 4: pack each valid outgoing edge. Local
-                    // edges accumulate into one batch delivered below;
-                    // remote edges go straight to the transport.
-                    for (dep_idx, dep) in tiling.deps().iter().enumerate() {
-                        let consumer = tile.sub(&dep.delta);
-                        if !tiling.tile_in_space(&consumer, &mut point) {
-                            continue;
-                        }
-                        let edge = &tiling.edges()[dep_idx];
-                        tiling.set_tile(&tile, &mut point);
-                        let mut payload = pool.take_payload(edge.max_cells(), mem);
-                        edge.for_each_cell(&mut point, |j| {
-                            payload.push(values[layout.loc(j)]);
-                        })
-                        .expect("edge pack scan failed");
-                        edge_cells.fetch_add(payload.len() as u64, Ordering::Relaxed);
-                        let dest = owner.owner_of(&consumer);
-                        if dest == config.rank {
-                            let total = tiling.dep_total(&consumer, &mut point);
-                            edges_local.fetch_add(1, Ordering::Relaxed);
-                            batch.push(EdgeDelivery {
-                                tile: consumer,
-                                delta: dep.delta,
-                                payload,
-                                total,
-                            });
-                        } else {
-                            edges_remote.fetch_add(1, Ordering::Relaxed);
-                            transport.send(
-                                dest,
-                                EdgeMsg {
-                                    tile: consumer,
-                                    delta: dep.delta,
-                                    payload,
-                                },
-                            );
-                        }
-                    }
                     let ready = sched.deliver_batch(w, &mut batch);
                     for _ in 0..ready.min(threads) {
                         cv.notify_one();
@@ -507,6 +679,7 @@ where
                     pool.release(values, written);
                     mem.tile_released(layout.size());
                     tiles_per_worker[w].fetch_add(1, Ordering::Relaxed);
+                    note_progress();
 
                     let done = executed.fetch_add(1, Ordering::AcqRel) + 1;
                     if done >= owned {
@@ -516,6 +689,38 @@ where
             });
         }
     });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+
+    // --- Quiesce: this rank is done executing, but its frames may be
+    // unacknowledged and peers may still be retransmitting to it. Keep
+    // pumping the transport until the whole world has drained; the watchdog
+    // keeps a dead world from hanging us here.
+    let mut last_change = Instant::now();
+    let mut last_in_flight = transport.in_flight();
+    while !transport.flush() {
+        if let Some(c) = &config.cancel {
+            if c.load(Ordering::Acquire) {
+                return Err(RunError::Cancelled { rank: config.rank });
+            }
+        }
+        let now_in_flight = transport.in_flight();
+        if now_in_flight != last_in_flight {
+            last_in_flight = now_in_flight;
+            last_change = Instant::now();
+        }
+        if let Some(limit) = config.stall_timeout {
+            if last_change.elapsed() > limit {
+                if let Some(c) = &config.cancel {
+                    c.store(true, Ordering::Release);
+                }
+                return Err(RunError::Stalled(Box::new(snapshot(last_change.elapsed()))));
+            }
+        }
+        std::thread::yield_now();
+    }
 
     let stats = RunStats {
         tiles_executed: executed.load(Ordering::Acquire),
@@ -546,11 +751,76 @@ where
         peak_live_tiles: mem.peak_live_tiles(),
         peak_live_tile_cells: mem.peak_live_tile_cells(),
     };
-    NodeResult {
+    Ok(NodeResult {
         probes: probe_results.into_inner(),
         reduction: reduce.map(|r| r.finish()),
         stats,
-    }
+    })
+}
+
+/// Fallible [`run_shared`]: the whole problem on this process, surfacing
+/// kernel panics and stalls as typed errors.
+pub fn try_run_shared<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    threads: usize,
+    priority: TilePriority,
+) -> Result<NodeResult<T>, RunError>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let config = NodeConfig {
+        threads,
+        priority,
+        rank: 0,
+        stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
+        cancel: None,
+    };
+    run_node(
+        tiling,
+        params,
+        kernel,
+        &SingleOwner,
+        &crate::transport::NullTransport,
+        probe,
+        &config,
+    )
+}
+
+/// Fallible [`run_shared_reduce`].
+pub fn try_run_shared_reduce<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    threads: usize,
+    priority: TilePriority,
+    reduce: &Reduction<T>,
+) -> Result<NodeResult<T>, RunError>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    let config = NodeConfig {
+        threads,
+        priority,
+        rank: 0,
+        stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
+        cancel: None,
+    };
+    run_node_reduce(
+        tiling,
+        params,
+        kernel,
+        &SingleOwner,
+        &crate::transport::NullTransport,
+        probe,
+        &config,
+        Some(reduce),
+    )
 }
 
 /// [`run_shared`] with a whole-space [`Reduction`].
@@ -567,21 +837,8 @@ where
     T: Value,
     K: Kernel<T>,
 {
-    let config = NodeConfig {
-        threads,
-        priority,
-        rank: 0,
-    };
-    run_node_reduce(
-        tiling,
-        params,
-        kernel,
-        &SingleOwner,
-        &crate::transport::NullTransport,
-        probe,
-        &config,
-        Some(reduce),
-    )
+    try_run_shared_reduce(tiling, params, kernel, probe, threads, priority, reduce)
+        .unwrap_or_else(|e| panic!("shared run failed: {e}"))
 }
 
 /// Run the whole problem on this process with `threads` workers — the
@@ -598,20 +855,8 @@ where
     T: Value,
     K: Kernel<T>,
 {
-    let config = NodeConfig {
-        threads,
-        priority,
-        rank: 0,
-    };
-    run_node(
-        tiling,
-        params,
-        kernel,
-        &SingleOwner,
-        &crate::transport::NullTransport,
-        probe,
-        &config,
-    )
+    try_run_shared(tiling, params, kernel, probe, threads, priority)
+        .unwrap_or_else(|e| panic!("shared run failed: {e}"))
 }
 
 #[cfg(test)]
@@ -807,5 +1052,94 @@ mod tests {
         );
         assert!(res.probes.is_empty());
         assert!(res.stats.tiles_executed > 0);
+    }
+
+    #[test]
+    fn panicking_kernel_is_quarantined() {
+        let tiling = triangle(3);
+        let n = 9i64;
+        let bomb = |cell: CellRef<'_>, values: &mut [u64]| {
+            // Blow up somewhere mid-problem, after real work has happened.
+            if cell.x[0] == 2 && cell.x[1] == 2 {
+                panic!("injected kernel fault at (2,2)");
+            }
+            path_kernel(cell, values);
+        };
+        let err = try_run_shared::<u64, _>(
+            &tiling,
+            &[n],
+            &bomb,
+            &Probe::at(&[0, 0]),
+            2,
+            TilePriority::column_major(2),
+        )
+        .unwrap_err();
+        match &err {
+            RunError::KernelPanic { tile, message, .. } => {
+                // (2,2) lives in tile (0,0) with width 3.
+                assert_eq!(*tile, Coord::from_slice(&[0, 0]));
+                assert!(message.contains("injected kernel fault"), "{message}");
+            }
+            other => panic!("expected KernelPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn panicking_kernel_multi_thread_shuts_down_cleanly() {
+        let tiling = triangle(2);
+        let bomb = |_: CellRef<'_>, _: &mut [u64]| panic!("every tile fails");
+        for threads in [1usize, 4] {
+            let err = try_run_shared::<u64, _>(
+                &tiling,
+                &[15],
+                &bomb,
+                &Probe::default(),
+                threads,
+                TilePriority::Fifo,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, RunError::KernelPanic { .. }),
+                "threads={threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_is_quiet_on_healthy_runs() {
+        let tiling = triangle(2);
+        let config = NodeConfig::new(2, 2).with_stall_timeout(Some(Duration::from_secs(5)));
+        let res = run_node::<u64, _, _, _>(
+            &tiling,
+            &[12],
+            &path_kernel,
+            &SingleOwner,
+            &crate::transport::NullTransport,
+            &Probe::at(&[0, 0]),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(res.probes[0], Some(brute(12)[&(0, 0)]));
+    }
+
+    #[test]
+    fn cancel_flag_aborts_the_run() {
+        let tiling = triangle(2);
+        let cancel = Arc::new(AtomicBool::new(true)); // pre-cancelled
+        let config = NodeConfig {
+            cancel: Some(cancel),
+            ..NodeConfig::new(2, 2)
+        };
+        let err = run_node::<u64, _, _, _>(
+            &tiling,
+            &[20],
+            &path_kernel,
+            &SingleOwner,
+            &crate::transport::NullTransport,
+            &Probe::default(),
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Cancelled { rank: 0 }), "{err}");
     }
 }

@@ -378,6 +378,12 @@ impl<T> ShardedScheduler<T> {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Pending-tile count per shard — the stall watchdog's view of where
+    /// unfinished dependency sets are parked.
+    pub fn pending_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+
     /// Shared memory counters.
     pub fn stats(&self) -> &Arc<MemoryStats> {
         &self.stats

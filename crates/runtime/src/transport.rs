@@ -4,10 +4,14 @@
 //! an edge, asks the [`crate::node::TileOwner`] which rank consumes it, and
 //! hands foreign edges to a [`Transport`]. The `dpgen-mpisim` crate provides
 //! the simulated-MPI implementation (bounded send/receive buffers, polling
-//! progress); [`NullTransport`] is used for single-node runs, where a remote
-//! edge is a logic error.
+//! progress, reliable delivery over a faulty wire); [`NullTransport`] is
+//! used for single-node runs, where a remote edge is a logic error — it
+//! fails with a typed [`TransportError::NoRoute`] so a mis-partitioned run
+//! is diagnosable instead of aborting a worker thread.
 
 use dpgen_tiling::Coord;
+use std::fmt;
+use std::time::Duration;
 
 /// One edge in flight: the consuming tile, the dependency offset it
 /// satisfies, and the packed cell values.
@@ -21,28 +25,106 @@ pub struct EdgeMsg<T> {
     pub payload: Vec<T>,
 }
 
+/// A typed transport failure, surfaced through
+/// [`crate::error::RunError::Transport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// No route exists to `dest` — a self-send, an out-of-range rank, or a
+    /// remote edge handed to a single-node transport (a partitioning bug).
+    NoRoute {
+        /// The sending rank.
+        from: usize,
+        /// The unreachable destination.
+        dest: usize,
+        /// The tile whose edge could not be sent.
+        tile: Coord,
+    },
+    /// The peer's endpoint is gone (its rank thread exited abnormally).
+    Disconnected {
+        /// The sending rank.
+        from: usize,
+        /// The vanished destination.
+        dest: usize,
+    },
+    /// A send could not complete (no acknowledged progress) within the
+    /// configured timeout — the reliable layer's retransmit budget or the
+    /// interconnect itself is exhausted.
+    SendTimeout {
+        /// The sending rank.
+        from: usize,
+        /// The unresponsive destination.
+        dest: usize,
+        /// How long the send waited before giving up.
+        waited: Duration,
+        /// Frames still awaiting acknowledgement to `dest`.
+        in_flight: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NoRoute { from, dest, tile } => write!(
+                f,
+                "rank {from} has no route to rank {dest} for tile {tile} \
+                 (mis-partitioned problem or self-send)"
+            ),
+            TransportError::Disconnected { from, dest } => {
+                write!(f, "rank {dest} disconnected while rank {from} was sending")
+            }
+            TransportError::SendTimeout {
+                from,
+                dest,
+                waited,
+                in_flight,
+            } => write!(
+                f,
+                "rank {from} gave up sending to rank {dest} after {waited:?} \
+                 with {in_flight} unacknowledged frames"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Rank-to-rank edge transport.
 pub trait Transport<T>: Send + Sync {
     /// Send an edge to `dest`. May block when send buffers are exhausted,
     /// but must keep draining incoming traffic while blocked (the MPI
     /// progress rule) so that two mutually sending ranks cannot deadlock.
-    fn send(&self, dest: usize, msg: EdgeMsg<T>);
+    fn send(&self, dest: usize, msg: EdgeMsg<T>) -> Result<(), TransportError>;
 
     /// Poll for one incoming edge.
     fn try_recv(&self) -> Option<EdgeMsg<T>>;
+
+    /// Pump outstanding reliability work (acks, retransmits) after this
+    /// rank has executed all of its tiles. Returns `true` once the whole
+    /// world has quiesced — every rank's in-flight traffic acknowledged —
+    /// so the caller may stop polling without stranding a peer's
+    /// retransmits. Transports without in-flight state are always done.
+    fn flush(&self) -> bool {
+        true
+    }
+
+    /// Frames sent by this rank that are not yet acknowledged.
+    fn in_flight(&self) -> usize {
+        0
+    }
 }
 
-/// Transport for single-node runs: sending is a logic error, receiving
-/// yields nothing.
+/// Transport for single-node runs: sending fails with
+/// [`TransportError::NoRoute`], receiving yields nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullTransport;
 
 impl<T> Transport<T> for NullTransport {
-    fn send(&self, dest: usize, msg: EdgeMsg<T>) {
-        panic!(
-            "NullTransport cannot send edge for tile {} to rank {dest}",
-            msg.tile
-        );
+    fn send(&self, dest: usize, msg: EdgeMsg<T>) -> Result<(), TransportError> {
+        Err(TransportError::NoRoute {
+            from: 0,
+            dest,
+            tile: msg.tile,
+        })
     }
 
     fn try_recv(&self) -> Option<EdgeMsg<T>> {
@@ -58,19 +140,27 @@ mod tests {
     fn null_transport_receives_nothing() {
         let t = NullTransport;
         assert_eq!(Transport::<f64>::try_recv(&t), None);
+        assert!(Transport::<f64>::flush(&t));
+        assert_eq!(Transport::<f64>::in_flight(&t), 0);
     }
 
     #[test]
-    #[should_panic(expected = "cannot send")]
-    fn null_transport_send_panics() {
+    fn null_transport_send_is_a_typed_no_route() {
         let t = NullTransport;
-        t.send(
-            1,
-            EdgeMsg {
-                tile: Coord::from_slice(&[0]),
-                delta: Coord::from_slice(&[1]),
-                payload: vec![1.0f64],
-            },
-        );
+        let err = t
+            .send(
+                1,
+                EdgeMsg {
+                    tile: Coord::from_slice(&[0]),
+                    delta: Coord::from_slice(&[1]),
+                    payload: vec![1.0f64],
+                },
+            )
+            .unwrap_err();
+        match &err {
+            TransportError::NoRoute { dest: 1, .. } => {}
+            other => panic!("expected NoRoute, got {other:?}"),
+        }
+        assert!(err.to_string().contains("no route"), "{err}");
     }
 }

@@ -1,10 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the pieces the workspace uses are provided: `channel::bounded` with
-//! `try_send` / `try_recv`, where both endpoints are `Send + Sync` (std's
-//! mpsc receiver is not `Sync`, which the simulated-MPI communicator
-//! requires). The implementation is a mutex-protected ring; throughput is
-//! not the point — API fidelity in a no-network build environment is.
+//! Only the pieces the workspace uses are provided: `channel::bounded` and
+//! `channel::unbounded` with `try_send` / `try_recv`, where both endpoints
+//! are `Send + Sync` (std's mpsc receiver is not `Sync`, which the
+//! simulated-MPI communicator requires). The implementation is a
+//! mutex-protected ring; throughput is not the point — API fidelity in a
+//! no-network build environment is.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -116,6 +117,18 @@ pub mod channel {
         (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
+    /// Create a channel with no capacity limit; `try_send` never returns
+    /// [`TrySendError::Full`].
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: usize::MAX,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -130,6 +143,18 @@ pub mod channel {
             tx.try_send(3).unwrap();
             assert_eq!(rx.try_recv(), Ok(2));
             assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn unbounded_never_fills() {
+            let (tx, rx) = unbounded();
+            for k in 0..10_000 {
+                tx.try_send(k).unwrap();
+            }
+            for k in 0..10_000 {
+                assert_eq!(rx.try_recv(), Ok(k));
+            }
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         }
 

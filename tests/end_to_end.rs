@@ -93,6 +93,7 @@ fn alignment_problems_agree_under_every_balance_method() {
             priority: None,
             comm: CommConfig::default(),
             balance: balance.clone(),
+            stall_timeout: Some(std::time::Duration::from_secs(60)),
         };
         let res = program.run_hybrid_with::<i64, _>(&params, &problem, &probe, &config);
         assert_eq!(res.probes[0].unwrap(), want, "{balance:?}");
@@ -138,10 +139,12 @@ fn msa3_hybrid_with_tiny_buffers() {
         comm: CommConfig {
             send_buffers: 1,
             recv_buffers: 1,
+            ..CommConfig::default()
         },
         balance: BalanceMethod::Slabs {
             lb_dims: vec![0, 1],
         },
+        stall_timeout: Some(std::time::Duration::from_secs(60)),
     };
     let res = program.run_hybrid_with::<i64, _>(
         &problem.params(),

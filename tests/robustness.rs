@@ -1,9 +1,20 @@
-//! Failure handling and edge cases across the stack.
+//! Failure handling and edge cases across the stack: malformed inputs,
+//! degenerate problems, and — the fault-injection matrix — hybrid runs over
+//! a wire that drops, duplicates, reorders and corrupts packets, which must
+//! be bit-identical to fault-free runs or fail with a typed diagnosis.
 
-use dpgen::core::{Program, ProgramError};
-use dpgen::problems::{random_sequence, EditDistance};
-use dpgen::runtime::{Probe, TilePriority};
+use dpgen::core::driver::HybridConfig;
+use dpgen::core::{BalanceMethod, Program, ProgramError};
+use dpgen::mpisim::{CommConfig, FaultPlan, ReliabilityConfig};
+use dpgen::problems::{random_sequence, EditDistance, Lcs};
+use dpgen::runtime::{
+    run_node, Kernel, NodeConfig, NullTransport, Probe, RunError, TileOwner, TilePriority,
+    TransportError,
+};
 use dpgen::tiling::tiling::CellRef;
+use dpgen::tiling::Coord;
+use proptest::prelude::*;
+use std::time::Duration;
 
 fn count_kernel(cell: CellRef<'_>, values: &mut [u64]) {
     let a = if cell.valid[0] {
@@ -138,6 +149,263 @@ fn degenerate_one_dimensional_problem() {
         TilePriority::Fifo,
     );
     assert_eq!(res.probes[0], Some(18));
+}
+
+/// A faulty-wire communicator configuration: every knob tightened so small
+/// test problems exercise retransmission quickly.
+fn faulty_comm(plan: FaultPlan) -> CommConfig {
+    CommConfig {
+        send_buffers: 2,
+        recv_buffers: 2,
+        reliability: ReliabilityConfig {
+            ack_timeout: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            ..ReliabilityConfig::default()
+        },
+        faults: Some(plan),
+    }
+}
+
+fn hybrid_config(ranks: usize, comm: CommConfig) -> HybridConfig {
+    HybridConfig {
+        ranks,
+        threads_per_rank: 1,
+        priority: None,
+        comm,
+        balance: BalanceMethod::Slabs { lb_dims: vec![0] },
+        stall_timeout: Some(Duration::from_secs(20)),
+    }
+}
+
+/// The seeded fault matrix (drop / duplicate / reorder / corrupt /
+/// everything × LCS / edit distance × 1, 2, 4 ranks): every cell must be
+/// bit-identical to the dense reference, with retransmit work bounded —
+/// faults cost bandwidth, never correctness.
+#[test]
+fn seeded_fault_matrix_is_bit_identical() {
+    let a = random_sequence(14, 21);
+    let b = random_sequence(13, 22);
+    let lcs = Lcs::new(&[&a, &b]);
+    let lcs_program = Lcs::program(2, 3).unwrap();
+    let lcs_want = lcs.solve_dense();
+    let ed = EditDistance::new(&a, &b);
+    let ed_program = EditDistance::program(3).unwrap();
+    let ed_want = ed.solve_dense();
+
+    let plans = [
+        ("drop", FaultPlan::drops(11, 0.2)),
+        (
+            "dup",
+            FaultPlan {
+                duplicate: 0.25,
+                ..FaultPlan::none().with_seed(12)
+            },
+        ),
+        (
+            "reorder",
+            FaultPlan {
+                reorder: 0.3,
+                ..FaultPlan::none().with_seed(13)
+            },
+        ),
+        (
+            "corrupt",
+            FaultPlan {
+                corrupt: 0.2,
+                ..FaultPlan::none().with_seed(14)
+            },
+        ),
+        ("all", FaultPlan::uniform(15, 0.15)),
+    ];
+    for (name, plan) in plans {
+        for ranks in [1usize, 2, 4] {
+            let config = hybrid_config(ranks, faulty_comm(plan));
+            let res = lcs_program
+                .try_run_hybrid_with::<i64, _>(
+                    &lcs.params(),
+                    &lcs,
+                    &Probe::at(&lcs.goal()),
+                    &config,
+                )
+                .unwrap_or_else(|e| panic!("lcs {name} ranks={ranks}: {e}"));
+            assert_eq!(res.probes[0], Some(lcs_want), "lcs {name} ranks={ranks}");
+
+            let res = ed_program
+                .try_run_hybrid_with::<i64, _>(
+                    &ed.params(),
+                    &ed,
+                    &Probe::at(&[ed.params()[0], ed.params()[1]]),
+                    &config,
+                )
+                .unwrap_or_else(|e| panic!("editdist {name} ranks={ranks}: {e}"));
+            assert_eq!(
+                res.probes[0],
+                Some(ed_want),
+                "editdist {name} ranks={ranks}"
+            );
+
+            // Retransmits stay proportional to traffic (no livelock): each
+            // first transmission can cost at most a small number of
+            // recovery rounds at these fault rates.
+            let sent: u64 = res.comm_stats.iter().map(|s| s.msgs_sent()).sum();
+            let retrans = res.retransmits();
+            assert!(
+                retrans <= 50 * sent + 100,
+                "editdist {name} ranks={ranks}: {retrans} retransmits for {sent} sends"
+            );
+            if ranks > 1 && plan.drop > 0.0 {
+                let dropped: u64 = res.comm_stats.iter().map(|s| s.faults_dropped()).sum();
+                assert!(dropped > 0, "{name} ranks={ranks}: plan injected nothing");
+            }
+        }
+    }
+}
+
+/// Acceptance wedge: 100% drop with a zero retransmit budget must terminate
+/// with `RunError::Stalled` carrying a scheduler snapshot — not hang.
+#[test]
+fn wedged_run_terminates_with_stall_snapshot() {
+    let a = random_sequence(16, 31);
+    let b = random_sequence(15, 32);
+    let problem = EditDistance::new(&a, &b);
+    let program = EditDistance::program(4).unwrap();
+    let config = HybridConfig {
+        ranks: 2,
+        threads_per_rank: 1,
+        priority: None,
+        comm: CommConfig {
+            // A window large enough that the sender never blocks: both
+            // ranks end up waiting on traffic that can never arrive.
+            send_buffers: 64,
+            recv_buffers: 4,
+            reliability: ReliabilityConfig {
+                ack_timeout: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(5),
+                max_retransmits: 0,
+                send_timeout: Some(Duration::from_secs(5)),
+            },
+            faults: Some(FaultPlan::drops(99, 1.0)),
+        },
+        balance: BalanceMethod::Slabs { lb_dims: vec![0] },
+        stall_timeout: Some(Duration::from_millis(400)),
+    };
+    let err = program
+        .try_run_hybrid_with::<i64, _>(&problem.params(), &problem, &Probe::default(), &config)
+        .unwrap_err();
+    match &err {
+        RunError::Stalled(snap) => {
+            assert!(snap.stalled_for >= Duration::from_millis(400));
+            assert_eq!(snap.threads, 1);
+            // The snapshot names the wedge: the display mentions progress
+            // counts and any pending shards.
+            let text = err.to_string();
+            assert!(text.contains("no progress"), "{text}");
+            assert!(text.contains("tiles executed"), "{text}");
+        }
+        other => panic!("expected Stalled, got {other}"),
+    }
+}
+
+/// A mis-partitioned single-node run (owner claims a foreign rank exists,
+/// but the transport is Null) surfaces `TransportError::NoRoute` as a typed
+/// run failure instead of aborting a worker thread.
+#[test]
+fn mispartitioned_null_transport_is_a_typed_error() {
+    struct SplitOwner;
+    impl TileOwner for SplitOwner {
+        fn owner_of(&self, tile: &Coord) -> usize {
+            (tile[0] % 2) as usize
+        }
+    }
+    let program = Program::parse(TRIANGLE).unwrap();
+    let config = NodeConfig::new(2, 2).with_stall_timeout(Some(Duration::from_secs(10)));
+    let err = run_node::<u64, _, _, _>(
+        program.tiling(),
+        &[16],
+        &count_kernel,
+        &SplitOwner,
+        &NullTransport,
+        &Probe::default(),
+        &config,
+    )
+    .unwrap_err();
+    match &err {
+        RunError::Transport(TransportError::NoRoute { dest: 1, .. }) => {}
+        other => panic!("expected NoRoute to rank 1, got {other}"),
+    }
+}
+
+/// A panicking kernel in a multi-rank run is quarantined with its tile
+/// coordinate and cancels the sibling rank promptly.
+#[test]
+fn hybrid_kernel_panic_quarantines_the_tile() {
+    let a = random_sequence(12, 5);
+    let b = random_sequence(12, 6);
+    let problem = EditDistance::new(&a, &b);
+    let program = EditDistance::program(3).unwrap();
+    struct Bomb(EditDistance);
+    impl Kernel<i64> for Bomb {
+        fn compute(&self, cell: CellRef<'_>, values: &mut [i64]) {
+            if cell.x[0] == 7 && cell.x[1] == 7 {
+                panic!("poisoned cell (7,7)");
+            }
+            self.0.compute(cell, values);
+        }
+    }
+    let mut config = hybrid_config(2, CommConfig::default());
+    config.stall_timeout = Some(Duration::from_secs(10));
+    let err = program
+        .try_run_hybrid_with::<i64, _>(
+            &problem.params(),
+            &Bomb(problem.clone()),
+            &Probe::default(),
+            &config,
+        )
+        .unwrap_err();
+    match &err {
+        RunError::KernelPanic { tile, message, .. } => {
+            // Cell (7,7) lives in tile (2,2) with width 3.
+            assert_eq!(*tile, Coord::from_slice(&[2, 2]));
+            assert!(message.contains("poisoned cell"), "{message}");
+        }
+        other => panic!("expected KernelPanic, got {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline reliability property: for ANY seeded fault schedule
+    /// with drop rate < 1, a consistency problem over the faulty wire is
+    /// bit-identical to the dense reference scan.
+    #[test]
+    fn any_fault_schedule_below_total_loss_is_bit_identical(
+        seed in 0u64..u64::MAX,
+        drop in 0.0f64..0.8,
+        duplicate in 0.0f64..0.5,
+        reorder in 0.0f64..0.5,
+        corrupt in 0.0f64..0.4,
+        max_delay in 1u32..12,
+        ranks in 2usize..5,
+        alen in 8usize..16,
+        blen in 8usize..16,
+    ) {
+        let a = random_sequence(alen, seed ^ 0x5EED);
+        let b = random_sequence(blen, seed ^ 0xFEED);
+        let problem = EditDistance::new(&a, &b);
+        let program = EditDistance::program(3).unwrap();
+        let plan = FaultPlan { seed, drop, duplicate, reorder, corrupt, max_delay };
+        let config = hybrid_config(ranks, faulty_comm(plan));
+        let res = program
+            .try_run_hybrid_with::<i64, _>(
+                &problem.params(),
+                &problem,
+                &Probe::at(&[problem.params()[0], problem.params()[1]]),
+                &config,
+            )
+            .unwrap();
+        prop_assert_eq!(res.probes[0], Some(problem.solve_dense()));
+    }
 }
 
 #[test]
