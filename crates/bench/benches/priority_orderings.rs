@@ -4,8 +4,8 @@
 //! tracks their scheduler overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpgen_core::Program;
-use dpgen_runtime::{run_shared, Probe, TilePriority};
+use dpgen_core::{Program, RunBuilder};
+use dpgen_runtime::TilePriority;
 use dpgen_tiling::tiling::CellRef;
 
 fn kernel(cell: CellRef<'_>, values: &mut [u64]) {
@@ -41,14 +41,11 @@ fn bench_priorities(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new("serial", name), &priority, |b, p| {
             b.iter(|| {
-                run_shared::<u64, _>(
-                    program.tiling(),
-                    &[n],
-                    &kernel,
-                    &Probe::default(),
-                    1,
-                    p.clone(),
-                )
+                RunBuilder::<u64>::on_tiling(program.tiling(), &[n])
+                    .threads(1)
+                    .priority(p.clone())
+                    .run(&kernel)
+                    .unwrap()
             })
         });
     }

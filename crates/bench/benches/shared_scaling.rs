@@ -24,7 +24,12 @@ fn bench_shared(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), threads)
+                    program
+                        .runner::<f64>(&[n])
+                        .threads(threads)
+                        .probe(Probe::at(&[0, 0, 0, 0]))
+                        .run(&kernel)
+                        .unwrap()
                 })
             },
         );
@@ -47,8 +52,13 @@ fn bench_shared(c: &mut Criterion) {
     // exports (see `figures e4b` for the full table).
     println!("fig6_shared_scaling/contention (sharded scheduler)");
     for threads in [1usize, 2, 4] {
-        let res = program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), threads);
-        let s = &res.stats;
+        let res = program
+            .runner::<f64>(&[n])
+            .threads(threads)
+            .probe(Probe::at(&[0, 0, 0, 0]))
+            .run(&kernel)
+            .unwrap();
+        let s = &res.per_rank[0].stats;
         println!(
             "  threads={threads}: tiles={} steals={} steal_fails={} \
              lock_wait={:.1}us idle={:.3} imbalance={:.2}",

@@ -16,7 +16,14 @@ fn bench_tile_size(c: &mut Criterion) {
     for width in [2i64, 4, 8, 12] {
         let program = Bandit2::program(width).unwrap();
         group.bench_with_input(BenchmarkId::new("serial", width), &width, |b, _| {
-            b.iter(|| program.run_shared::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), 1))
+            b.iter(|| {
+                program
+                    .runner::<f64>(&[n])
+                    .threads(1)
+                    .probe(Probe::at(&[0, 0, 0, 0]))
+                    .run(&kernel)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -1,0 +1,42 @@
+//! Overhead of the observability layer: the same shared-memory LCS run at
+//! every `TraceLevel`. The acceptance bar is `Off` within 2% of a build
+//! with no tracing at all — `Off` takes a single branch per would-be
+//! event, so the `off` series doubles as that baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpgen_problems::{random_sequence, Lcs};
+use dpgen_runtime::{Probe, TraceLevel};
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let a = random_sequence(600, 11);
+    let b = random_sequence(600, 13);
+    let problem = Lcs::new(&[&a, &b]);
+    let program = Lcs::program(2, 48).unwrap();
+    let params = problem.params();
+    let probe = Probe::at(&problem.goal());
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    for (name, level) in [
+        ("off", TraceLevel::Off),
+        ("counters", TraceLevel::Counters),
+        ("spans", TraceLevel::Spans),
+        ("full", TraceLevel::Full),
+    ] {
+        group.bench_with_input(BenchmarkId::new("lcs_4t", name), &level, |bch, &level| {
+            bch.iter(|| {
+                program
+                    .runner::<i64>(&params)
+                    .threads(4)
+                    .trace(level)
+                    .probe(probe.clone())
+                    .run(&problem)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

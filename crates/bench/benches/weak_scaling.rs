@@ -18,7 +18,13 @@ fn bench_weak(c: &mut Criterion) {
         let n = (14.0 * (ranks as f64).powf(0.25)).round() as i64;
         group.bench_with_input(BenchmarkId::new("hybrid", ranks), &ranks, |b, &ranks| {
             b.iter(|| {
-                program.run_hybrid::<f64, _>(&[n], &kernel, &Probe::at(&[0, 0, 0, 0]), ranks, 1)
+                program
+                    .runner::<f64>(&[n])
+                    .ranks(ranks)
+                    .threads(1)
+                    .probe(Probe::at(&[0, 0, 0, 0]))
+                    .run(&kernel)
+                    .unwrap()
             })
         });
     }

@@ -7,14 +7,13 @@
 
 use crate::calibrate;
 use crate::report::{fmt_dur_us, fmt_f, Table};
-use dpgen_core::driver::HybridConfig;
 use dpgen_core::loadbalance::{BalanceMethod, LoadBalance};
 use dpgen_core::traceback::{run_logged, Traceback};
-use dpgen_core::Program;
+use dpgen_core::{Program, RunBuilder, RunOutput};
 use dpgen_des::{simulate, CostModel, SimConfig};
 use dpgen_mpisim::CommConfig;
 use dpgen_problems::{random_sequence, Bandit2, Bandit3, Lcs, Msa};
-use dpgen_runtime::{run_shared, Probe, SingleOwner, TilePriority};
+use dpgen_runtime::{Probe, SingleOwner, TilePriority, Value};
 use dpgen_tiling::tiling::CellRef;
 use dpgen_tiling::Tiling;
 
@@ -46,6 +45,15 @@ fn count_kernel(cell: CellRef<'_>, values: &mut [u64]) {
     values[cell.loc] = a.wrapping_add(b);
 }
 
+/// Take the single node's owned `RunStats` out of a single-rank run.
+fn node_stats<T: Value>(out: RunOutput<T>) -> dpgen_runtime::RunStats {
+    out.per_rank
+        .into_iter()
+        .next()
+        .expect("single-rank run")
+        .stats
+}
+
 /// E1 — correctness of the generated 2-arm bandit program (Figure 1 /
 /// Section II): V(0) from the tiled parallel run vs the dense solver.
 pub fn e1_bandit_correctness(quick: bool) -> Table {
@@ -59,8 +67,12 @@ pub fn e1_bandit_correctness(quick: bool) -> Table {
     let ns: &[i64] = if quick { &[4, 8] } else { &[6, 10, 14, 18] };
     for &n in ns {
         let want = problem.solve_dense(n);
-        let res =
-            program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
+        let res = program
+            .runner::<f64>(&[n])
+            .threads(2)
+            .probe(Probe::at(&[0, 0, 0, 0]))
+            .run(&problem.kernel())
+            .unwrap();
         let got = res.probes[0].unwrap();
         table.row(vec![
             n.to_string(),
@@ -105,18 +117,15 @@ pub fn e2_memory_orderings(quick: bool) -> Table {
             format!("n+1 = {}", n_tiles + 1),
         ),
     ] {
-        let res = run_shared::<u64, _>(
-            program.tiling(),
-            &[n],
-            &count_kernel,
-            &Probe::default(),
-            1,
-            priority,
-        );
+        let res = RunBuilder::<u64>::on_tiling(program.tiling(), &[n])
+            .threads(1)
+            .priority(priority)
+            .run(&count_kernel)
+            .unwrap();
         table.row(vec![
             name.to_string(),
             n_tiles.to_string(),
-            res.stats.peak_edges.to_string(),
+            res.per_rank[0].stats.peak_edges.to_string(),
             model,
         ]);
     }
@@ -255,9 +264,13 @@ pub fn e4b_contention(quick: bool) -> Table {
         let problem = Bandit2::default();
         let program = Bandit2::program(if quick { 4 } else { 8 }).unwrap();
         for &t in threads {
-            let res =
-                program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), t);
-            stats_rows.push(("bandit2".into(), t, res.stats));
+            let res = program
+                .runner::<f64>(&[n])
+                .threads(t)
+                .probe(Probe::at(&[0, 0, 0, 0]))
+                .run(&problem.kernel())
+                .unwrap();
+            stats_rows.push(("bandit2".into(), t, node_stats(res)));
         }
     }
     {
@@ -267,9 +280,12 @@ pub fn e4b_contention(quick: bool) -> Table {
         let problem = Lcs::new(&[&a, &b]);
         let program = Lcs::program(2, if quick { 8 } else { 16 }).unwrap();
         for &t in threads {
-            let res =
-                program.run_shared::<i64, _>(&problem.params(), &problem, &Probe::default(), t);
-            stats_rows.push(("lcs2".into(), t, res.stats));
+            let res = program
+                .runner::<i64>(&problem.params())
+                .threads(t)
+                .run(&problem)
+                .unwrap();
+            stats_rows.push(("lcs2".into(), t, node_stats(res)));
         }
     }
     for (name, t, stats) in stats_rows {
@@ -449,26 +465,22 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
         simulate(tiling, &[n], &owner, &config)
     };
     for buffers in [1usize, 2, 4, 16] {
-        let config = HybridConfig {
-            ranks: 4,
-            threads_per_rank: 1,
-            priority: None,
-            comm: CommConfig {
+        let res = program
+            .runner::<f64>(&[n])
+            .ranks(4)
+            .threads(1)
+            .comm(CommConfig {
                 send_buffers: buffers,
                 recv_buffers: buffers,
                 ..CommConfig::default()
-            },
-            balance: BalanceMethod::Slabs {
+            })
+            .balance(BalanceMethod::Slabs {
                 lb_dims: vec![0, 1],
-            },
-            stall_timeout: Some(std::time::Duration::from_secs(60)),
-        };
-        let res = program.run_hybrid_with::<f64, _>(
-            &[n],
-            &problem.kernel(),
-            &Probe::at(&[0, 0, 0, 0]),
-            &config,
-        );
+            })
+            .stall_timeout(Some(std::time::Duration::from_secs(60)))
+            .probe(Probe::at(&[0, 0, 0, 0]))
+            .run(&problem.kernel())
+            .unwrap();
         let stalls: u64 = res.comm_stats.iter().map(|s| s.send_stalls()).sum();
         let stall_us: f64 = res
             .comm_stats
@@ -557,9 +569,13 @@ pub fn e9_init_fraction(quick: bool) -> Table {
         cases.push((
             "bandit2".into(),
             Box::new(move || {
-                program
-                    .run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::default(), 1)
-                    .stats
+                node_stats(
+                    program
+                        .runner::<f64>(&[n])
+                        .threads(1)
+                        .run(&problem.kernel())
+                        .unwrap(),
+                )
             }),
         ));
     }
@@ -572,9 +588,13 @@ pub fn e9_init_fraction(quick: bool) -> Table {
         cases.push((
             "msa2".into(),
             Box::new(move || {
-                program
-                    .run_shared::<i64, _>(&problem.params(), &problem, &Probe::default(), 1)
-                    .stats
+                node_stats(
+                    program
+                        .runner::<i64>(&problem.params())
+                        .threads(1)
+                        .run(&problem)
+                        .unwrap(),
+                )
             }),
         ));
     }
@@ -796,9 +816,12 @@ pub fn e13_hot_path(quick: bool) -> Table {
         let problem = Lcs::new(&[&a, &b]);
         let program = Lcs::program(2, if quick { 8 } else { 16 }).unwrap();
         for &t in threads {
-            let res =
-                program.run_shared::<i64, _>(&problem.params(), &problem, &Probe::default(), t);
-            stats_rows.push(("lcs2".into(), t, res.stats));
+            let res = program
+                .runner::<i64>(&problem.params())
+                .threads(t)
+                .run(&problem)
+                .unwrap();
+            stats_rows.push(("lcs2".into(), t, node_stats(res)));
         }
     }
     {
@@ -806,9 +829,13 @@ pub fn e13_hot_path(quick: bool) -> Table {
         let problem = Bandit2::default();
         let program = Bandit2::program(if quick { 4 } else { 8 }).unwrap();
         for &t in threads {
-            let res =
-                program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), t);
-            stats_rows.push(("bandit2".into(), t, res.stats));
+            let res = program
+                .runner::<f64>(&[n])
+                .threads(t)
+                .probe(Probe::at(&[0, 0, 0, 0]))
+                .run(&problem.kernel())
+                .unwrap();
+            stats_rows.push(("bandit2".into(), t, node_stats(res)));
         }
     }
     for (name, t, stats) in stats_rows {

@@ -22,8 +22,10 @@
 pub mod experiments;
 pub mod report;
 
+use dpgen_core::RunBuilder;
 use dpgen_des::CostModel;
-use dpgen_runtime::{run_shared, Kernel, Probe, TilePriority, Value};
+use dpgen_mpisim::Wire;
+use dpgen_runtime::{Kernel, TilePriority, Value};
 use dpgen_tiling::Tiling;
 
 /// Measure the serial per-cell and per-edge-cell costs of a kernel by
@@ -31,21 +33,19 @@ use dpgen_tiling::Tiling;
 /// [`CostModel`] (interconnect constants keep their defaults).
 pub fn calibrate<T, K>(tiling: &Tiling, params: &[i64], kernel: &K) -> CostModel
 where
-    T: Value,
+    T: Value + Wire,
     K: Kernel<T>,
 {
-    let res = run_shared::<T, K>(
-        tiling,
-        params,
-        kernel,
-        &Probe::default(),
-        1,
-        TilePriority::column_major(tiling.dims()),
-    );
-    let cells = res.stats.cells_computed.max(1) as f64;
-    let tiles = res.stats.tiles_executed as f64;
-    let edge_cells = res.stats.edge_cells_packed as f64;
-    let compute = res.stats.total_time.as_secs_f64() - res.stats.init_time.as_secs_f64();
+    let res = RunBuilder::<T>::on_tiling(tiling, params)
+        .threads(1)
+        .priority(TilePriority::column_major(tiling.dims()))
+        .run(kernel)
+        .unwrap();
+    let stats = &res.per_rank[0].stats;
+    let cells = stats.cells_computed.max(1) as f64;
+    let tiles = stats.tiles_executed as f64;
+    let edge_cells = stats.edge_cells_packed as f64;
+    let compute = stats.total_time.as_secs_f64() - stats.init_time.as_secs_f64();
     // Attribute ~80% of measured time to cells and ~10% each to per-tile
     // overhead and edge handling — but only when the measured run actually
     // exercised those paths (a single-tile run has no edges, and dividing

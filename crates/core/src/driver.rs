@@ -8,15 +8,19 @@
 //!
 //! Multi-rank failure handling: every rank shares one cancellation flag, so
 //! the first rank to fail (kernel panic, stall, transport error) tears the
-//! others down promptly; [`try_run_hybrid_reduce`] then reports the most
-//! diagnostic error (by [`RunError::severity`]) rather than a sympathetic
-//! `Cancelled`.
+//! others down promptly; the engine then reports the most diagnostic error
+//! (by [`RunError::severity`]) rather than a sympathetic `Cancelled`.
+//!
+//! The public entry point is [`crate::RunBuilder`] (via
+//! `Program::runner`); the free functions `run_hybrid` /
+//! `try_run_hybrid` / `run_hybrid_reduce` / `try_run_hybrid_reduce`
+//! remain as deprecated shims over the same engine.
 
 use crate::loadbalance::{BalanceMethod, LoadBalance};
 use dpgen_mpisim::{CommConfig, CommStats, CommWorld, Wire};
 use dpgen_runtime::{
-    run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, Reduction, RunError, TilePriority,
-    Value,
+    run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, RankTrace, Reduction, RunError,
+    TilePriority, Timeline, TraceConfig, Tracer, Value,
 };
 use dpgen_tiling::Tiling;
 use std::sync::atomic::AtomicBool;
@@ -40,6 +44,10 @@ pub struct HybridConfig {
     pub balance: BalanceMethod,
     /// Per-rank stall watchdog window; `None` disables the watchdog.
     pub stall_timeout: Option<Duration>,
+    /// Event tracing: level and per-worker ring capacity. At
+    /// `TraceLevel::Spans` and above, [`HybridResult::timeline`] carries
+    /// the merged per-rank timeline.
+    pub trace: TraceConfig,
 }
 
 impl HybridConfig {
@@ -52,6 +60,7 @@ impl HybridConfig {
             comm: CommConfig::default(),
             balance: BalanceMethod::Slabs { lb_dims },
             stall_timeout: Some(dpgen_runtime::DEFAULT_STALL_TIMEOUT),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -75,6 +84,9 @@ pub struct HybridResult<T> {
     pub total_time: Duration,
     /// Time spent in the load balancer.
     pub balance_time: Duration,
+    /// The merged event timeline; `Some` when tracing ran at
+    /// `TraceLevel::Spans` or above.
+    pub timeline: Option<Timeline>,
 }
 
 impl<T> HybridResult<T> {
@@ -100,8 +112,11 @@ impl<T> HybridResult<T> {
 }
 
 /// Run the problem on `config.ranks` simulated nodes, each with
-/// `config.threads_per_rank` workers. Panics on a failed run; use
-/// [`try_run_hybrid`] to handle failures.
+/// `config.threads_per_rank` workers. Panics on a failed run.
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API (`dpgen::Program::runner` or `dpgen_core::RunBuilder::on_tiling`)"
+)]
 pub fn run_hybrid<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -113,11 +128,15 @@ where
     T: Value + Wire,
     K: Kernel<T>,
 {
-    try_run_hybrid(tiling, params, kernel, probe, config)
+    hybrid_run(tiling, params, kernel, probe, config, None)
         .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
 }
 
-/// Fallible [`run_hybrid`].
+/// Fallible `run_hybrid`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API (`dpgen::Program::runner` or `dpgen_core::RunBuilder::on_tiling`)"
+)]
 pub fn try_run_hybrid<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -129,12 +148,16 @@ where
     T: Value + Wire,
     K: Kernel<T>,
 {
-    try_run_hybrid_reduce(tiling, params, kernel, probe, config, None)
+    hybrid_run(tiling, params, kernel, probe, config, None)
 }
 
-/// [`run_hybrid`] with an optional whole-space [`Reduction`] shared by all
+/// `run_hybrid` with an optional whole-space [`Reduction`] shared by all
 /// ranks; the merged value lands in [`HybridResult::reduction`]. Panics on
-/// a failed run; use [`try_run_hybrid_reduce`] to handle failures.
+/// a failed run.
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API with `.reduce(..)` (`dpgen::Program::runner` or `dpgen_core::RunBuilder::on_tiling`)"
+)]
 pub fn run_hybrid_reduce<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -147,13 +170,34 @@ where
     T: Value + Wire,
     K: Kernel<T>,
 {
-    try_run_hybrid_reduce(tiling, params, kernel, probe, config, reduce)
+    hybrid_run(tiling, params, kernel, probe, config, reduce)
         .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
 }
 
-/// Fallible [`run_hybrid_reduce`]: any rank's failure cancels the others,
-/// and the most diagnostic error across ranks is returned.
+/// Fallible `run_hybrid_reduce`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API with `.reduce(..)` (`dpgen::Program::runner` or `dpgen_core::RunBuilder::on_tiling`)"
+)]
 pub fn try_run_hybrid_reduce<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    config: &HybridConfig,
+    reduce: Option<&Reduction<T>>,
+) -> Result<HybridResult<T>, RunError>
+where
+    T: Value + Wire,
+    K: Kernel<T>,
+{
+    hybrid_run(tiling, params, kernel, probe, config, reduce)
+}
+
+/// The hybrid engine: any rank's failure cancels the others, and the most
+/// diagnostic error across ranks is returned. Reached through
+/// [`crate::RunBuilder`].
+pub(crate) fn hybrid_run<T, K>(
     tiling: &Tiling,
     params: &[i64],
     kernel: &K,
@@ -178,7 +222,19 @@ where
         TilePriority::paper_default(tiling.dims(), &lb_dims)
     });
 
-    let world = CommWorld::create::<T>(config.ranks, config.comm);
+    // Every rank's tracer shares one epoch so timestamps land on one
+    // global clock and the merged timeline lines up across ranks.
+    let epoch = Instant::now();
+    let tracers: Vec<Option<Arc<Tracer>>> = (0..config.ranks)
+        .map(|rank| Tracer::create(rank, config.threads_per_rank, config.trace, epoch))
+        .collect();
+
+    let mut world = CommWorld::create::<T>(config.ranks, config.comm);
+    for (comm, tracer) in world.iter_mut().zip(&tracers) {
+        if let Some(t) = tracer {
+            comm.attach_tracer(t.clone());
+        }
+    }
     let comm_stats: Vec<Arc<CommStats>> = world.iter().map(|r| r.stats()).collect();
     // One flag for the whole world: the first failing rank raises it and
     // every other rank bails out instead of waiting on silent peers.
@@ -192,6 +248,7 @@ where
             let priority = priority.clone();
             let owner = &owner;
             let cancel = cancel.clone();
+            let tracer = tracers[comm.rank()].clone();
             handles.push(scope.spawn(move || {
                 let node_config = NodeConfig {
                     threads: config.threads_per_rank,
@@ -199,6 +256,7 @@ where
                     rank: comm.rank(),
                     stall_timeout: config.stall_timeout,
                     cancel: Some(cancel),
+                    tracer,
                 };
                 run_node_reduce(
                     tiling,
@@ -248,6 +306,11 @@ where
         }
     }
 
+    // All rank threads have joined, so every ring is quiescent: drain them
+    // into the merged cross-rank timeline.
+    let traces: Vec<RankTrace> = tracers.iter().flatten().map(|t| t.drain()).collect();
+    let timeline = (!traces.is_empty()).then(|| Timeline::build(traces));
+
     Ok(HybridResult {
         probes,
         reduction: reduce.map(|r| r.finish()),
@@ -256,6 +319,7 @@ where
         balance,
         total_time: t_start.elapsed(),
         balance_time,
+        timeline,
     })
 }
 
@@ -311,8 +375,15 @@ mod tests {
         for ranks in [1usize, 2, 4] {
             for threads in [1usize, 2] {
                 let config = HybridConfig::new(ranks, threads, vec![0]);
-                let res =
-                    run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+                let res = hybrid_run::<f64, _>(
+                    &tiling,
+                    &[n],
+                    &path_kernel,
+                    &Probe::at(&[0, 0]),
+                    &config,
+                    None,
+                )
+                .unwrap();
                 assert_eq!(res.probes[0], Some(want), "ranks={ranks} threads={threads}");
                 assert_eq!(res.cells_computed(), ((n + 1) * (n + 2) / 2) as u64);
                 if ranks > 1 {
@@ -337,8 +408,17 @@ mod tests {
             comm: CommConfig::default(),
             balance: BalanceMethod::Hyperplane,
             stall_timeout: Some(Duration::from_secs(30)),
+            trace: TraceConfig::default(),
         };
-        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        let res = hybrid_run::<f64, _>(
+            &tiling,
+            &[n],
+            &path_kernel,
+            &Probe::at(&[0, 0]),
+            &config,
+            None,
+        )
+        .unwrap();
         assert_eq!(res.probes[0], Some(want));
     }
 
@@ -360,8 +440,17 @@ mod tests {
                 lb_dims: vec![0, 1],
             },
             stall_timeout: Some(Duration::from_secs(30)),
+            trace: TraceConfig::default(),
         };
-        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), &config);
+        let res = hybrid_run::<f64, _>(
+            &tiling,
+            &[n],
+            &path_kernel,
+            &Probe::at(&[0, 0]),
+            &config,
+            None,
+        )
+        .unwrap();
         assert_eq!(res.probes[0], Some(want));
     }
 
@@ -371,7 +460,7 @@ mod tests {
         let tiling = triangle(2);
         let config = HybridConfig::new(3, 1, vec![0]);
         let probe = Probe::many(&[&[0, 0], &[n, 0], &[0, n], &[7, 7]]);
-        let res = run_hybrid::<f64, _>(&tiling, &[n], &path_kernel, &probe, &config);
+        let res = hybrid_run::<f64, _>(&tiling, &[n], &path_kernel, &probe, &config, None).unwrap();
         assert!(res.probes[0].is_some());
         assert!(res.probes[1].is_some());
         assert!(res.probes[2].is_some());
@@ -389,7 +478,7 @@ mod tests {
         };
         let mut config = HybridConfig::new(2, 1, vec![0]);
         config.stall_timeout = Some(Duration::from_secs(10));
-        let err = try_run_hybrid::<f64, _>(&tiling, &[12], &bomb, &Probe::default(), &config)
+        let err = hybrid_run::<f64, _>(&tiling, &[12], &bomb, &Probe::default(), &config, None)
             .unwrap_err();
         assert!(
             matches!(err, RunError::KernelPanic { .. }),

@@ -26,13 +26,14 @@ pub mod driver;
 pub mod initial;
 pub mod loadbalance;
 pub mod program;
+pub mod run;
 pub mod spec;
 pub mod traceback;
 
-pub use driver::{
-    run_hybrid, run_hybrid_reduce, try_run_hybrid, try_run_hybrid_reduce, HybridConfig,
-    HybridResult,
-};
+#[allow(deprecated)]
+pub use driver::{run_hybrid, run_hybrid_reduce, try_run_hybrid, try_run_hybrid_reduce};
+pub use driver::{HybridConfig, HybridResult};
 pub use loadbalance::{BalanceMethod, LoadBalance, MapOwner};
 pub use program::{Program, ProgramError};
+pub use run::{RunBuilder, RunOutput};
 pub use spec::{ProblemSpec, SpecError};

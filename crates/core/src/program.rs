@@ -6,12 +6,12 @@
 //! serial, shared-memory and hybrid run methods; `dpgen-codegen` can also
 //! render it to actual hybrid C source text.
 
-use crate::driver::{run_hybrid, try_run_hybrid_reduce, HybridConfig, HybridResult};
+use crate::driver::{HybridConfig, HybridResult};
+use crate::run::RunBuilder;
 use crate::spec::{ProblemSpec, SpecError};
 use dpgen_mpisim::Wire;
 use dpgen_runtime::{
-    run_reference, run_shared, Kernel, NodeResult, Probe, ReferenceResult, RunError, TilePriority,
-    Value,
+    run_reference, Kernel, NodeResult, Probe, ReferenceResult, RunError, TilePriority, Value,
 };
 use dpgen_tiling::{Tiling, TilingError};
 use std::fmt;
@@ -84,7 +84,28 @@ impl Program {
         TilePriority::paper_default(self.tiling.dims(), &self.spec.load_balance_indices())
     }
 
+    /// A [`RunBuilder`] over this program's tiling, seeded with the
+    /// spec's load-balancing dimensions: the one entry point for serial,
+    /// shared-memory, grouped and hybrid runs.
+    ///
+    /// ```ignore
+    /// let out = program
+    ///     .runner(&[n])
+    ///     .threads(4)
+    ///     .ranks(2)
+    ///     .trace(TraceLevel::Spans)
+    ///     .probe(Probe::at(&[0, 0]))
+    ///     .run(&kernel)?;
+    /// ```
+    pub fn runner<'a, T>(&'a self, params: &'a [i64]) -> RunBuilder<'a, T> {
+        RunBuilder::on_tiling(&self.tiling, params).lb_dims(self.spec.load_balance_indices())
+    }
+
     /// Serial untiled reference run (dense memory; validation/baseline).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the RunBuilder API: `program.runner(params).serial().run(kernel)`"
+    )]
     pub fn run_serial<T, K>(&self, params: &[i64], kernel: &K) -> ReferenceResult<T>
     where
         T: Value,
@@ -95,6 +116,10 @@ impl Program {
 
     /// Shared-memory run with `threads` workers (the pure-OpenMP
     /// configuration of Figure 6).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the RunBuilder API: `program.runner(params).threads(n).run(kernel)`"
+    )]
     pub fn run_shared<T, K>(
         &self,
         params: &[i64],
@@ -103,21 +128,24 @@ impl Program {
         threads: usize,
     ) -> NodeResult<T>
     where
-        T: Value,
+        T: Value + Wire,
         K: Kernel<T>,
     {
-        run_shared(
-            &self.tiling,
-            params,
-            kernel,
-            probe,
-            threads,
-            self.default_priority(),
-        )
+        let out = self
+            .runner(params)
+            .threads(threads)
+            .probe(probe.clone())
+            .run(kernel)
+            .unwrap_or_else(|e| panic!("shared run failed: {e}"));
+        out.per_rank.into_iter().next().expect("one rank")
     }
 
     /// Hybrid run on `ranks` simulated nodes × `threads_per_rank` workers
     /// (the OpenMP + MPI configuration of Figure 7).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the RunBuilder API: `program.runner(params).threads(n).ranks(r).run(kernel)`"
+    )]
     pub fn run_hybrid<T, K>(
         &self,
         params: &[i64],
@@ -133,10 +161,15 @@ impl Program {
         let lb = self.spec.load_balance_indices();
         let lb = if lb.is_empty() { vec![0] } else { lb };
         let config = HybridConfig::new(ranks, threads_per_rank, lb);
-        run_hybrid(&self.tiling, params, kernel, probe, &config)
+        #[allow(deprecated)]
+        self.run_hybrid_with(params, kernel, probe, &config)
     }
 
     /// Hybrid run with full configuration control.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the RunBuilder API: `program.runner(params).comm(..).balance(..).run(kernel)`"
+    )]
     pub fn run_hybrid_with<T, K>(
         &self,
         params: &[i64],
@@ -148,12 +181,18 @@ impl Program {
         T: Value + Wire,
         K: Kernel<T>,
     {
-        run_hybrid(&self.tiling, params, kernel, probe, config)
+        #[allow(deprecated)]
+        self.try_run_hybrid_with(params, kernel, probe, config)
+            .unwrap_or_else(|e| panic!("hybrid run failed: {e}"))
     }
 
-    /// Fallible [`Program::run_hybrid_with`]: surfaces kernel panics,
+    /// Fallible `Program::run_hybrid_with`: surfaces kernel panics,
     /// stalls and transport failures as a typed [`RunError`] instead of
-    /// panicking — the entry point for fault-injection runs.
+    /// panicking.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the RunBuilder API: `program.runner(params).comm(..).run(kernel)`"
+    )]
     pub fn try_run_hybrid_with<T, K>(
         &self,
         params: &[i64],
@@ -165,7 +204,7 @@ impl Program {
         T: Value + Wire,
         K: Kernel<T>,
     {
-        try_run_hybrid_reduce(&self.tiling, params, kernel, probe, config, None)
+        crate::driver::hybrid_run(&self.tiling, params, kernel, probe, config, None)
     }
 }
 
@@ -209,14 +248,30 @@ mod tests {
     fn serial_shared_and_hybrid_agree() {
         let program = Program::parse(&bandit2_spec_text(4)).unwrap();
         let n = 10i64;
-        let serial = program.run_serial::<f64, _>(&[n], &toy_bandit);
-        let want = serial.get(&[0, 0, 0, 0]).unwrap();
+        let probe = Probe::at(&[0, 0, 0, 0]);
+        let serial = program
+            .runner(&[n])
+            .serial()
+            .probe(probe.clone())
+            .run(&toy_bandit)
+            .unwrap();
+        let want = serial.probes[0].unwrap();
         // With p = 0.5 both arms are identical; V(0) = N/2 for this toy.
         assert!((want - n as f64 / 2.0).abs() < 1e-9, "got {want}");
-        let shared = program.run_shared::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 4);
+        let shared = program
+            .runner(&[n])
+            .threads(4)
+            .probe(probe.clone())
+            .run(&toy_bandit)
+            .unwrap();
         assert_eq!(shared.probes[0], Some(want));
-        let hybrid =
-            program.run_hybrid::<f64, _>(&[n], &toy_bandit, &Probe::at(&[0, 0, 0, 0]), 3, 2);
+        let hybrid = program
+            .runner(&[n])
+            .threads(2)
+            .ranks(3)
+            .probe(probe)
+            .run(&toy_bandit)
+            .unwrap();
         assert_eq!(hybrid.probes[0], Some(want));
     }
 

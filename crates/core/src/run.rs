@@ -1,0 +1,619 @@
+//! The consolidated run entry point: [`RunBuilder`] and [`RunOutput`].
+//!
+//! Historically each execution mode had its own family of free functions
+//! (`run_shared`, `run_shared_grouped`, `run_hybrid`, `try_run_hybrid`,
+//! reduce variants, …) and every new knob — reliability tuning, fault
+//! plans, stall watchdogs, tracing — widened every signature. The builder
+//! collapses them into one fluent surface:
+//!
+//! ```
+//! use dpgen_core::Program;
+//! use dpgen_runtime::{Probe, TraceLevel};
+//! use dpgen_tiling::tiling::CellRef;
+//!
+//! fn step(cell: CellRef<'_>, values: &mut [f64]) {
+//!     values[cell.loc] = if cell.valid[0] {
+//!         values[cell.loc_r(0)] + 1.0
+//!     } else {
+//!         0.0
+//!     };
+//! }
+//!
+//! let spec = "name chain\nvars x\nparams N\nconstraint x >= 0\n\
+//!             constraint x <= N\ntemplate r 1\nwidths 4\n";
+//! let program = Program::parse(spec).unwrap();
+//! let out = program
+//!     .runner(&[30])
+//!     .threads(2)
+//!     .ranks(2)
+//!     .trace(TraceLevel::Spans)
+//!     .probe(Probe::at(&[0]))
+//!     .run(&step)
+//!     .unwrap();
+//! assert_eq!(out.probes[0], Some(30.0));
+//! assert!(out.timeline.is_some());
+//! ```
+//!
+//! Every mode lands in the same [`RunOutput`], which also carries the
+//! run's unified [`MetricsRegistry`] and (when tracing is on) the merged
+//! [`Timeline`].
+
+use crate::driver::{hybrid_run, HybridConfig};
+use crate::loadbalance::{BalanceMethod, LoadBalance};
+use dpgen_mpisim::{CommConfig, CommStats, ReliabilityConfig, Wire};
+use dpgen_runtime::{
+    run_grouped, run_node_reduce, run_reference, Kernel, MetricsRegistry, NodeConfig, NodeResult,
+    NullTransport, Probe, Reduction, ReferenceResult, RunError, SingleOwner, TilePriority,
+    Timeline, TraceConfig, TraceLevel, Tracer, Value,
+};
+use dpgen_tiling::Tiling;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which executor a [`RunBuilder`] resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Serial,
+    Shared,
+    Grouped,
+    Hybrid,
+}
+
+/// Fluent configuration for a run; build one with
+/// [`crate::Program::runner`] or [`RunBuilder::on_tiling`], set the knobs
+/// you care about, and finish with [`RunBuilder::run`].
+///
+/// Mode selection: [`serial`](RunBuilder::serial) forces the untiled
+/// reference executor; otherwise `ranks(r)` with `r > 1` selects the
+/// hybrid driver, `groups(g)` the group-local scheduler, and the default
+/// is the single-node sharded runtime.
+pub struct RunBuilder<'a, T> {
+    tiling: &'a Tiling,
+    params: &'a [i64],
+    lb_dims: Vec<usize>,
+    threads: usize,
+    ranks: usize,
+    groups: Option<usize>,
+    serial: bool,
+    probe: Probe,
+    priority: Option<TilePriority>,
+    comm: CommConfig,
+    balance: Option<BalanceMethod>,
+    stall_timeout: Option<Duration>,
+    trace: TraceConfig,
+    reduce: Option<&'a Reduction<T>>,
+}
+
+impl<'a, T> RunBuilder<'a, T> {
+    /// A builder over a raw [`Tiling`] (the core-level entry point;
+    /// [`crate::Program::runner`] also seeds the load-balancing
+    /// dimensions from the spec).
+    pub fn on_tiling(tiling: &'a Tiling, params: &'a [i64]) -> RunBuilder<'a, T> {
+        RunBuilder {
+            tiling,
+            params,
+            lb_dims: Vec::new(),
+            threads: 1,
+            ranks: 1,
+            groups: None,
+            serial: false,
+            probe: Probe::default(),
+            priority: None,
+            comm: CommConfig::default(),
+            balance: None,
+            stall_timeout: Some(dpgen_runtime::DEFAULT_STALL_TIMEOUT),
+            trace: TraceConfig::default(),
+            reduce: None,
+        }
+    }
+
+    /// Worker threads per rank (the OpenMP thread count). Default 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Simulated nodes (MPI ranks); more than one selects the hybrid
+    /// driver. Default 1.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks.max(1);
+        self
+    }
+
+    /// Split the node's workers over `groups` scheduler groups (the
+    /// Section VII-C group-local extension). Single-rank only.
+    pub fn groups(mut self, groups: usize) -> Self {
+        self.groups = Some(groups.max(1));
+        self
+    }
+
+    /// Run the serial untiled reference executor (dense memory;
+    /// validation and baselines). The dense result lands in
+    /// [`RunOutput::reference`].
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Global coordinates whose final values to capture.
+    pub fn probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Ready-queue ordering; defaults to the paper's Figure 5 priority
+    /// (column-major with the load-balancing dimensions first).
+    pub fn priority(mut self, priority: TilePriority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Load-balancing dimensions used for the default priority and slab
+    /// partitioning ([`crate::Program::runner`] seeds this from the spec).
+    pub fn lb_dims(mut self, lb_dims: Vec<usize>) -> Self {
+        self.lb_dims = lb_dims;
+        self
+    }
+
+    /// Partitioning method for hybrid runs; defaults to slabs over the
+    /// load-balancing dimensions.
+    pub fn balance(mut self, balance: BalanceMethod) -> Self {
+        self.balance = Some(balance);
+        self
+    }
+
+    /// Full communication configuration (buffer counts, reliability,
+    /// fault plan) for hybrid runs.
+    pub fn comm(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Just the reliability tunables, keeping the other comm knobs.
+    pub fn reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.comm.reliability = reliability;
+        self
+    }
+
+    /// Stall watchdog window; `None` disables the watchdog.
+    pub fn stall_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Event-tracing level ([`TraceLevel::Off`] by default). At
+    /// [`TraceLevel::Spans`] and above, [`RunOutput::timeline`] carries
+    /// the merged per-worker timeline.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace.level = level;
+        self
+    }
+
+    /// Full trace configuration (level plus per-worker ring capacity).
+    pub fn trace_config(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Whole-space reduction folded over every computed cell; the merged
+    /// value lands in [`RunOutput::reduction`]. Not supported with
+    /// [`groups`](RunBuilder::groups).
+    pub fn reduce(mut self, reduce: &'a Reduction<T>) -> Self {
+        self.reduce = Some(reduce);
+        self
+    }
+
+    fn mode(&self) -> Mode {
+        if self.serial {
+            assert!(
+                self.ranks == 1 && self.groups.is_none(),
+                "serial() excludes ranks()/groups()"
+            );
+            Mode::Serial
+        } else if self.ranks > 1 {
+            assert!(
+                self.groups.is_none(),
+                "groups() is single-rank; it excludes ranks(n > 1)"
+            );
+            Mode::Hybrid
+        } else if self.groups.is_some() {
+            Mode::Grouped
+        } else {
+            Mode::Shared
+        }
+    }
+
+    fn resolved_priority(&self) -> TilePriority {
+        self.priority
+            .clone()
+            .unwrap_or_else(|| TilePriority::paper_default(self.tiling.dims(), &self.lb_dims))
+    }
+}
+
+impl<'a, T: Value + Wire> RunBuilder<'a, T> {
+    /// Execute the configured run. Every mode funnels into the same
+    /// [`RunOutput`]; failures (kernel panics, stalls, transport errors)
+    /// surface as a typed [`RunError`] with tile/rank context.
+    pub fn run<K>(self, kernel: &K) -> Result<RunOutput<T>, RunError>
+    where
+        K: Kernel<T>,
+    {
+        let mode = self.mode();
+        let t_start = Instant::now();
+        match mode {
+            Mode::Serial => self.run_serial(kernel, t_start),
+            Mode::Shared => self.run_shared(kernel, t_start),
+            Mode::Grouped => self.run_grouped(kernel, t_start),
+            Mode::Hybrid => self.run_hybrid(kernel),
+        }
+    }
+
+    fn run_serial<K>(self, kernel: &K, t_start: Instant) -> Result<RunOutput<T>, RunError>
+    where
+        K: Kernel<T>,
+    {
+        let reference = run_reference::<T, _>(self.tiling, self.params, kernel);
+        let probes = self
+            .probe
+            .coords()
+            .iter()
+            .map(|c| reference.get(c.as_slice()))
+            .collect();
+        let reduction = self
+            .reduce
+            .map(|r| reference.fold(r.identity(), |a, b| r.combine(a, b)));
+        let mut metrics = MetricsRegistry::new();
+        metrics.add_counter("serial.cells_computed", reference.cells_computed());
+        Ok(RunOutput {
+            probes,
+            reduction,
+            per_rank: Vec::new(),
+            comm_stats: Vec::new(),
+            balance: None,
+            reference: Some(reference),
+            timeline: None,
+            metrics,
+            total_time: t_start.elapsed(),
+            balance_time: Duration::ZERO,
+        })
+    }
+
+    fn run_shared<K>(self, kernel: &K, t_start: Instant) -> Result<RunOutput<T>, RunError>
+    where
+        K: Kernel<T>,
+    {
+        let tracer = Tracer::create(0, self.threads, self.trace, Instant::now());
+        let config = NodeConfig {
+            threads: self.threads,
+            priority: self.resolved_priority(),
+            rank: 0,
+            stall_timeout: self.stall_timeout,
+            cancel: None,
+            tracer: tracer.clone(),
+        };
+        let result = run_node_reduce(
+            self.tiling,
+            self.params,
+            kernel,
+            &SingleOwner,
+            &NullTransport::default(),
+            &self.probe,
+            &config,
+            self.reduce,
+        )?;
+        let timeline = tracer.map(|t| Timeline::build(vec![t.drain()]));
+        Ok(RunOutput::from_node(result, timeline, t_start.elapsed()))
+    }
+
+    fn run_grouped<K>(self, kernel: &K, t_start: Instant) -> Result<RunOutput<T>, RunError>
+    where
+        K: Kernel<T>,
+    {
+        assert!(
+            self.reduce.is_none(),
+            "reduce() is not supported with groups(); use the default \
+             sharded scheduler or the hybrid driver"
+        );
+        let result = run_grouped(
+            self.tiling,
+            self.params,
+            kernel,
+            &self.probe,
+            self.threads,
+            self.groups.unwrap_or(1),
+            self.resolved_priority(),
+        );
+        Ok(RunOutput::from_node(result, None, t_start.elapsed()))
+    }
+
+    fn run_hybrid<K>(self, kernel: &K) -> Result<RunOutput<T>, RunError>
+    where
+        K: Kernel<T>,
+    {
+        let lb_dims = if self.lb_dims.is_empty() {
+            vec![0]
+        } else {
+            self.lb_dims.clone()
+        };
+        let config = HybridConfig {
+            ranks: self.ranks,
+            threads_per_rank: self.threads,
+            priority: self.priority.clone(),
+            comm: self.comm,
+            balance: self
+                .balance
+                .clone()
+                .unwrap_or(BalanceMethod::Slabs { lb_dims }),
+            stall_timeout: self.stall_timeout,
+            trace: self.trace,
+        };
+        let res = hybrid_run(
+            self.tiling,
+            self.params,
+            kernel,
+            &self.probe,
+            &config,
+            self.reduce,
+        )?;
+        let mut metrics = MetricsRegistry::new();
+        for (rank, r) in res.per_rank.iter().enumerate() {
+            metrics.record_run_stats(&format!("rank{rank}."), &r.stats);
+        }
+        for (rank, s) in res.comm_stats.iter().enumerate() {
+            s.register_metrics(&mut metrics, &format!("rank{rank}.comm."));
+        }
+        if let Some(tl) = &res.timeline {
+            tl.register_metrics(&mut metrics);
+        }
+        Ok(RunOutput {
+            probes: res.probes,
+            reduction: res.reduction,
+            per_rank: res.per_rank,
+            comm_stats: res.comm_stats,
+            balance: Some(res.balance),
+            reference: None,
+            timeline: res.timeline,
+            metrics,
+            total_time: res.total_time,
+            balance_time: res.balance_time,
+        })
+    }
+}
+
+/// The uniform outcome of a [`RunBuilder`] run, whatever the mode.
+pub struct RunOutput<T> {
+    /// Probe values (a probe is `None` only if outside the iteration
+    /// space).
+    pub probes: Vec<Option<T>>,
+    /// The whole-space reduction, when one was supplied.
+    pub reduction: Option<T>,
+    /// Per-rank node results (one entry for single-node modes; empty for
+    /// serial runs).
+    pub per_rank: Vec<NodeResult<T>>,
+    /// Per-rank communication statistics (hybrid runs only).
+    pub comm_stats: Vec<Arc<CommStats>>,
+    /// The load balance used (hybrid runs only).
+    pub balance: Option<LoadBalance>,
+    /// The dense reference result (serial runs only).
+    pub reference: Option<ReferenceResult<T>>,
+    /// The merged event timeline, when tracing ran at
+    /// [`TraceLevel::Spans`] or above.
+    pub timeline: Option<Timeline>,
+    /// Unified run/comm/trace metrics, keyed `rank{r}.…`,
+    /// `rank{r}.comm.…` and `trace.…`.
+    pub metrics: MetricsRegistry,
+    /// Wall time of the whole run.
+    pub total_time: Duration,
+    /// Time spent in the load balancer (hybrid runs only).
+    pub balance_time: Duration,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RunOutput<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOutput")
+            .field("probes", &self.probes)
+            .field("reduction", &self.reduction)
+            .field("ranks", &self.per_rank.len())
+            .field("traced", &self.timeline.is_some())
+            .field("total_time", &self.total_time)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> RunOutput<T> {
+    fn from_node(
+        result: NodeResult<T>,
+        timeline: Option<Timeline>,
+        total_time: Duration,
+    ) -> RunOutput<T>
+    where
+        T: Value,
+    {
+        let mut metrics = MetricsRegistry::new();
+
+        metrics.record_run_stats("rank0.", &result.stats);
+        if let Some(tl) = &timeline {
+            tl.register_metrics(&mut metrics);
+        }
+        RunOutput {
+            probes: result.probes.clone(),
+            reduction: result.reduction,
+            per_rank: vec![result],
+            comm_stats: Vec::new(),
+            balance: None,
+            reference: None,
+            timeline,
+            metrics,
+            total_time,
+            balance_time: Duration::ZERO,
+        }
+    }
+
+    /// Aggregate cells computed across ranks (or by the reference run).
+    pub fn cells_computed(&self) -> u64
+    where
+        T: Copy,
+    {
+        if let Some(r) = &self.reference {
+            return r.cells_computed();
+        }
+        self.per_rank.iter().map(|r| r.stats.cells_computed).sum()
+    }
+
+    /// Aggregate remote edges sent (nonzero only for multi-rank runs).
+    pub fn edges_remote(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.stats.edges_remote).sum()
+    }
+
+    /// Aggregate bytes sent over the simulated interconnect.
+    pub fn bytes_sent(&self) -> u64 {
+        self.comm_stats.iter().map(|s| s.bytes_sent()).sum()
+    }
+
+    /// Aggregate retransmitted frames (nonzero only under injected
+    /// faults).
+    pub fn retransmits(&self) -> u64 {
+        self.comm_stats.iter().map(|s| s.retransmits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_polyhedra::{ConstraintSystem, Space};
+    use dpgen_tiling::tiling::CellRef;
+    use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    fn triangle(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("y >= 0").unwrap();
+        sys.add_text("x + y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
+    }
+
+    fn path_kernel(cell: CellRef<'_>, values: &mut [f64]) {
+        let a = if cell.valid[0] {
+            values[cell.loc_r(0)]
+        } else {
+            1.0
+        };
+        let b = if cell.valid[1] {
+            values[cell.loc_r(1)]
+        } else {
+            1.0
+        };
+        values[cell.loc] = a + b;
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let n = 16i64;
+        let tiling = triangle(3);
+        let probe = Probe::many(&[&[0, 0], &[n, 0]]);
+        let serial = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .serial()
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        let want = serial.probes[0].unwrap();
+        assert!(serial.reference.is_some());
+        assert!(serial.cells_computed() > 0);
+
+        let shared = RunBuilder::on_tiling(&tiling, &[n])
+            .threads(3)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(shared.probes, serial.probes);
+        assert_eq!(shared.per_rank.len(), 1);
+        assert!(shared.metrics.counter("rank0.cells_computed").is_some());
+
+        let grouped = RunBuilder::on_tiling(&tiling, &[n])
+            .threads(4)
+            .groups(2)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(grouped.probes, serial.probes);
+
+        let hybrid = RunBuilder::on_tiling(&tiling, &[n])
+            .threads(2)
+            .ranks(3)
+            .probe(probe)
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(hybrid.probes[0], Some(want));
+        assert!(hybrid.balance.is_some());
+        assert!(hybrid.edges_remote() > 0);
+        assert!(hybrid.metrics.counter("rank2.comm.msgs_sent").is_some());
+    }
+
+    #[test]
+    fn builder_reduce_matches_serial_fold() {
+        let n = 12i64;
+        let tiling = triangle(2);
+        let serial_sum = {
+            let r = Reduction::new(0.0f64, |a, b| a + b);
+            RunBuilder::on_tiling(&tiling, &[n])
+                .serial()
+                .reduce(&r)
+                .run(&path_kernel)
+                .unwrap()
+                .reduction
+                .unwrap()
+        };
+        for ranks in [1usize, 2] {
+            let r = Reduction::new(0.0f64, |a, b| a + b);
+            let got = RunBuilder::on_tiling(&tiling, &[n])
+                .threads(2)
+                .ranks(ranks)
+                .reduce(&r)
+                .run(&path_kernel)
+                .unwrap()
+                .reduction
+                .unwrap();
+            assert!((got - serial_sum).abs() < 1e-9, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn tracing_produces_timeline_and_metrics() {
+        let n = 14i64;
+        let tiling = triangle(2);
+        let out = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .threads(2)
+            .ranks(2)
+            .trace(TraceLevel::Full)
+            .probe(Probe::at(&[0, 0]))
+            .run(&path_kernel)
+            .unwrap();
+        let tl = out
+            .timeline
+            .as_ref()
+            .expect("Full tracing must yield a timeline");
+        assert_eq!(tl.spans.len() as u64, out.cells_computed_tiles());
+        assert!(out.metrics.counter("trace.spans").is_some());
+        // Off leaves the timeline empty and pays no trace bookkeeping.
+        let off = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .threads(2)
+            .run(&path_kernel)
+            .unwrap();
+        assert!(off.timeline.is_none());
+        assert!(off.metrics.counter("trace.spans").is_none());
+    }
+
+    impl<T> RunOutput<T> {
+        fn cells_computed_tiles(&self) -> u64 {
+            self.per_rank.iter().map(|r| r.stats.tiles_executed).sum()
+        }
+    }
+}

@@ -18,7 +18,7 @@ use crate::stats::CommStats;
 use crate::wire::Wire;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
-use dpgen_runtime::{EdgeMsg, Transport, TransportError};
+use dpgen_runtime::{EdgeMsg, EventKind, Tracer, Transport, TransportError};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -273,6 +273,7 @@ impl CommWorld {
                 stats: stats[rank].clone(),
                 drained: Arc::new(AtomicUsize::new(0)),
                 drain_signalled: std::sync::atomic::AtomicBool::new(false),
+                tracer: None,
                 _marker: std::marker::PhantomData,
             });
         }
@@ -308,6 +309,9 @@ pub struct RankComm<T> {
     /// queues after finishing their tiles (see [`Transport::flush`]).
     drained: Arc<AtomicUsize>,
     drain_signalled: std::sync::atomic::AtomicBool,
+    /// This rank's tracer; transport-level events (`Retransmit`, `Ack`)
+    /// land on its comm track. Attached before the rank thread spawns.
+    tracer: Option<Arc<Tracer>>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -320,6 +324,21 @@ impl<T: Wire> RankComm<T> {
     /// Shared communication counters.
     pub fn stats(&self) -> Arc<CommStats> {
         self.stats.clone()
+    }
+
+    /// Attach this rank's event tracer. Must happen before the endpoint is
+    /// moved into its rank thread ([`crate::comm::CommConfig`] is `Copy`,
+    /// so the tracer cannot travel inside the config).
+    pub fn attach_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Record a transport-level event on the comm track.
+    #[inline]
+    fn trace(&self, kind: EventKind, aux: u64) {
+        if let Some(t) = &self.tracer {
+            t.record(t.comm_track(), kind, None, aux);
+        }
     }
 
     /// Frames queued to `dest` but not yet acknowledged.
@@ -344,6 +363,7 @@ impl<T: Wire> RankComm<T> {
         match frame {
             Frame::Ack { cum } => {
                 self.stats.note_ack_received();
+                self.trace(EventKind::Ack, cum);
                 let mut tx = self.tx[src].lock();
                 // Cumulative: everything below `cum` is delivered. Stale
                 // (reordered) acks simply pop nothing.
@@ -402,6 +422,7 @@ impl<T: Wire> RankComm<T> {
                 }
                 if sender.try_send(f.frame.clone()).is_ok() {
                     self.stats.note_retransmit();
+                    self.trace(EventKind::Retransmit, dst as u64);
                 }
                 // Count the attempt even when the wire is full: backoff
                 // must still advance or a full channel spins the pump.

@@ -1,5 +1,6 @@
 //! Per-rank communication statistics.
 
+use dpgen_runtime::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -178,6 +179,34 @@ impl CommStats {
     pub fn faults_corrupted(&self) -> u64 {
         self.faults_corrupted.load(Ordering::Relaxed)
     }
+
+    /// Register every counter into `reg` under `prefix` (e.g.
+    /// `"rank0.comm."`), unifying communication statistics with the run's
+    /// [`MetricsRegistry`].
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let c = |reg: &mut MetricsRegistry, name: &str, v: u64| {
+            reg.add_counter(&format!("{prefix}{name}"), v);
+        };
+        c(reg, "msgs_sent", self.msgs_sent());
+        c(reg, "bytes_sent", self.bytes_sent());
+        c(reg, "msgs_received", self.msgs_received());
+        c(reg, "bytes_received", self.bytes_received());
+        c(reg, "send_stalls", self.send_stalls());
+        c(reg, "retransmits", self.retransmits());
+        c(reg, "dup_drops", self.dup_drops());
+        c(reg, "corrupt_drops", self.corrupt_drops());
+        c(reg, "acks_sent", self.acks_sent());
+        c(reg, "acks_received", self.acks_received());
+        c(reg, "max_reorder_depth", self.max_reorder_depth());
+        c(reg, "faults_dropped", self.faults_dropped());
+        c(reg, "faults_duplicated", self.faults_duplicated());
+        c(reg, "faults_reordered", self.faults_reordered());
+        c(reg, "faults_corrupted", self.faults_corrupted());
+        reg.set_gauge(
+            &format!("{prefix}stall_time_s"),
+            self.stall_time().as_secs_f64(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +254,19 @@ mod tests {
         assert_eq!(s.faults_duplicated(), 1);
         assert_eq!(s.faults_reordered(), 1);
         assert_eq!(s.faults_corrupted(), 1);
+    }
+
+    #[test]
+    fn registry_export_carries_all_counters() {
+        let s = CommStats::new();
+        s.note_send(64);
+        s.note_retransmit();
+        let mut reg = MetricsRegistry::new();
+        s.register_metrics(&mut reg, "rank1.comm.");
+        assert_eq!(reg.counter("rank1.comm.msgs_sent"), Some(1));
+        assert_eq!(reg.counter("rank1.comm.bytes_sent"), Some(64));
+        assert_eq!(reg.counter("rank1.comm.retransmits"), Some(1));
+        assert!(reg.gauge("rank1.comm.stall_time_s").is_some());
+        assert!(reg.names_with_prefix("rank1.comm.").count() >= 16);
     }
 }

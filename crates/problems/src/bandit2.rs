@@ -171,8 +171,12 @@ mod tests {
         let program = Bandit2::program(3).unwrap();
         for n in [1i64, 2, 5, 9] {
             let want = problem.solve_dense(n);
-            let res =
-                program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
+            let res = program
+                .runner(&[n])
+                .threads(2)
+                .probe(Probe::at(&[0, 0, 0, 0]))
+                .run(&problem.kernel())
+                .unwrap();
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }
@@ -184,8 +188,13 @@ mod tests {
         let program = Bandit2::program(2).unwrap();
         let n = 8i64;
         let want = problem.solve_dense(n);
-        let res =
-            program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 3, 2);
+        let res = program
+            .runner(&[n])
+            .threads(2)
+            .ranks(3)
+            .probe(Probe::at(&[0, 0, 0, 0]))
+            .run(&problem.kernel())
+            .unwrap();
         assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
     }
 
@@ -228,8 +237,12 @@ mod tests {
         let v = problem.solve_dense(n);
         assert!(v >= n as f64 * 0.9 - 1.0, "v = {v}");
         let program = Bandit2::program(4).unwrap();
-        let res =
-            program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0, 0, 0, 0]), 2);
+        let res = program
+            .runner(&[n])
+            .threads(2)
+            .probe(Probe::at(&[0, 0, 0, 0]))
+            .run(&problem.kernel())
+            .unwrap();
         assert!((res.probes[0].unwrap() - v).abs() < 1e-9);
     }
 }

@@ -153,7 +153,12 @@ mod tests {
         let program = Bandit3::program(2).unwrap();
         for n in [1i64, 3, 5] {
             let want = problem.solve_dense(n);
-            let res = program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2);
+            let res = program
+                .runner(&[n])
+                .threads(2)
+                .probe(Probe::at(&[0; 6]))
+                .run(&problem.kernel())
+                .unwrap();
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }
@@ -173,7 +178,13 @@ mod tests {
         let program = Bandit3::program(2).unwrap();
         let n = 4i64;
         let want = problem.solve_dense(n);
-        let res = program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2, 2);
+        let res = program
+            .runner(&[n])
+            .threads(2)
+            .ranks(2)
+            .probe(Probe::at(&[0; 6]))
+            .run(&problem.kernel())
+            .unwrap();
         assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
     }
 }

@@ -205,7 +205,12 @@ mod tests {
         let program = BanditDelay::program(2).unwrap();
         for n in [1i64, 2, 4] {
             let want = problem.solve_dense(n);
-            let res = program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2);
+            let res = program
+                .runner(&[n])
+                .threads(2)
+                .probe(Probe::at(&[0; 6]))
+                .run(&problem.kernel())
+                .unwrap();
             let got = res.probes[0].unwrap();
             assert!((got - want).abs() < 1e-9, "N={n}: {got} vs {want}");
         }

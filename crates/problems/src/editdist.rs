@@ -144,7 +144,12 @@ mod tests {
         let program = EditDistance::program(width).unwrap();
         let params = problem.params();
         let goal = [params[0], params[1]];
-        let res = program.run_shared::<i64, _>(&params, problem, &Probe::at(&goal), threads);
+        let res = program
+            .runner(&params)
+            .threads(threads)
+            .probe(Probe::at(&goal))
+            .run(problem)
+            .unwrap();
         res.probes[0].unwrap()
     }
 
@@ -171,13 +176,13 @@ mod tests {
         let want = problem.solve_dense();
         let program = EditDistance::program(4).unwrap();
         let params = problem.params();
-        let res = program.run_hybrid::<i64, _>(
-            &params,
-            &problem,
-            &Probe::at(&[params[0], params[1]]),
-            3,
-            2,
-        );
+        let res = program
+            .runner(&params)
+            .threads(2)
+            .ranks(3)
+            .probe(Probe::at(&[params[0], params[1]]))
+            .run(&problem)
+            .unwrap();
         assert_eq!(res.probes[0].unwrap(), want);
     }
 

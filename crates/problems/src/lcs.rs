@@ -150,12 +150,12 @@ mod tests {
 
     fn run_tiled(problem: &Lcs, width: i64) -> i64 {
         let program = Lcs::program(problem.seqs.len(), width).unwrap();
-        let res = program.run_shared::<i64, _>(
-            &problem.params(),
-            problem,
-            &Probe::at(&problem.goal()),
-            2,
-        );
+        let res = program
+            .runner(&problem.params())
+            .threads(2)
+            .probe(Probe::at(&problem.goal()))
+            .run(problem)
+            .unwrap();
         res.probes[0].unwrap()
     }
 

@@ -194,12 +194,12 @@ mod tests {
     fn run_tiled(problem: &Msa, width: i64, threads: usize) -> i64 {
         let d = problem.seqs.len();
         let program = Msa::program(d, width).unwrap();
-        let res = program.run_shared::<i64, _>(
-            &problem.params(),
-            problem,
-            &Probe::at(&problem.goal()),
-            threads,
-        );
+        let res = program
+            .runner(&problem.params())
+            .threads(threads)
+            .probe(Probe::at(&problem.goal()))
+            .run(problem)
+            .unwrap();
         res.probes[0].unwrap()
     }
 
@@ -260,7 +260,13 @@ mod tests {
         let b = random_sequence(16, 91);
         let p = Msa::new(&[&a, &b]);
         let program = Msa::program(2, 3).unwrap();
-        let res = program.run_hybrid::<i64, _>(&p.params(), &p, &Probe::at(&p.goal()), 3, 2);
+        let res = program
+            .runner(&p.params())
+            .threads(2)
+            .ranks(3)
+            .probe(Probe::at(&p.goal()))
+            .run(&p)
+            .unwrap();
         assert_eq!(res.probes[0].unwrap(), p.solve_dense());
     }
 }

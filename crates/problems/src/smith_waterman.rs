@@ -131,21 +131,19 @@ impl Kernel<i64> for SmithWaterman {
 mod tests {
     use super::*;
     use crate::random_sequence;
-    use dpgen_runtime::{run_shared_reduce, Probe, Reduction, TilePriority};
+    use dpgen_runtime::{Reduction, TilePriority};
     use proptest::prelude::*;
 
     fn run_tiled(problem: &SmithWaterman, width: i64, threads: usize) -> i64 {
         let program = SmithWaterman::program(width).unwrap();
         let reduce = Reduction::max_i64();
-        let res = run_shared_reduce::<i64, _>(
-            program.tiling(),
-            &problem.params(),
-            problem,
-            &Probe::default(),
-            threads,
-            TilePriority::column_major(2),
-            &reduce,
-        );
+        let res = program
+            .runner(&problem.params())
+            .threads(threads)
+            .priority(TilePriority::column_major(2))
+            .reduce(&reduce)
+            .run(problem)
+            .unwrap();
         res.reduction.unwrap()
     }
 

@@ -13,6 +13,7 @@
 //! * a panicking kernel — caught per tile, quarantining the failing tile
 //!   coordinate instead of poisoning the worker pool.
 
+use crate::trace::TraceEvent;
 use crate::transport::TransportError;
 use dpgen_tiling::Coord;
 use std::fmt;
@@ -46,6 +47,10 @@ pub struct StallSnapshot {
     pub worker_last_progress: Vec<Duration>,
     /// Worker thread count.
     pub threads: usize,
+    /// The last few trace events per track (workers first, comm last) —
+    /// *what each worker was doing* when progress stopped. Empty when the
+    /// run was not traced (see [`crate::trace::TraceLevel`]).
+    pub recent_events: Vec<Vec<TraceEvent>>,
 }
 
 impl fmt::Display for StallSnapshot {
@@ -72,6 +77,18 @@ impl fmt::Display for StallSnapshot {
             .collect();
         if !busy.is_empty() {
             write!(f, "; pending by shard [{}]", busy.join(", "))?;
+        }
+        for (track, events) in self.recent_events.iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            let label = if track + 1 == self.recent_events.len() && track >= self.threads {
+                "comm".to_string()
+            } else {
+                format!("worker {track}")
+            };
+            let tail: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+            write!(f, "\n  {label} last events: {}", tail.join(" | "))?;
         }
         Ok(())
     }
@@ -144,6 +161,33 @@ impl RunError {
             RunError::Cancelled { .. } => 1,
         }
     }
+
+    /// The tile coordinate this error implicates, when it carries one — a
+    /// panicking kernel's tile, a malformed edge's consumer, or the tile a
+    /// routeless transport send was addressed for. Attached to the `Fault`
+    /// trace event so the failing coordinate survives into the timeline.
+    pub fn tile(&self) -> Option<Coord> {
+        match self {
+            RunError::KernelPanic { tile, .. } => Some(*tile),
+            RunError::BadEdge(e) => Some(e.tile),
+            RunError::Transport(TransportError::NoRoute { tile, .. }) => Some(*tile),
+            _ => None,
+        }
+    }
+
+    /// The rank the error occurred on, when it carries one.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            RunError::KernelPanic { rank, .. } | RunError::Cancelled { rank } => Some(*rank),
+            RunError::BadEdge(e) => Some(e.rank),
+            RunError::Stalled(s) => Some(s.rank),
+            RunError::Transport(
+                TransportError::NoRoute { from, .. }
+                | TransportError::Disconnected { from, .. }
+                | TransportError::SendTimeout { from, .. },
+            ) => Some(*from),
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -200,6 +244,7 @@ mod tests {
             unacked_frames: 5,
             worker_last_progress: vec![Duration::from_millis(510); 2],
             threads: 2,
+            recent_events: Vec::new(),
         }
     }
 
@@ -209,6 +254,52 @@ mod tests {
         assert!(msg.contains("7/12 tiles"), "{msg}");
         assert!(msg.contains("shard 1: 2"), "{msg}");
         assert!(msg.contains("5 unacked"), "{msg}");
+    }
+
+    #[test]
+    fn stall_display_dumps_recent_trace_events() {
+        use crate::trace::{EventKind, TraceEvent};
+        let mut s = snapshot();
+        s.recent_events = vec![
+            vec![TraceEvent {
+                ts: 5_000,
+                kind: EventKind::TileStart,
+                tile: Some(Coord::from_slice(&[3, 4])),
+                aux: 1,
+            }],
+            Vec::new(),
+            vec![TraceEvent {
+                ts: 9_000,
+                kind: EventKind::Ack,
+                tile: None,
+                aux: 17,
+            }],
+        ];
+        let msg = RunError::Stalled(Box::new(s)).to_string();
+        assert!(msg.contains("worker 0 last events"), "{msg}");
+        assert!(msg.contains("TileStart"), "{msg}");
+        assert!(msg.contains("comm last events"), "{msg}");
+    }
+
+    #[test]
+    fn errors_expose_tile_and_rank_context() {
+        let panic = RunError::KernelPanic {
+            rank: 3,
+            worker: 1,
+            tile: Coord::from_slice(&[1, 2]),
+            message: "boom".into(),
+        };
+        assert_eq!(panic.tile(), Some(Coord::from_slice(&[1, 2])));
+        assert_eq!(panic.rank(), Some(3));
+        let no_route: RunError = TransportError::NoRoute {
+            from: 2,
+            dest: 5,
+            tile: Coord::from_slice(&[7, 8]),
+        }
+        .into();
+        assert_eq!(no_route.tile(), Some(Coord::from_slice(&[7, 8])));
+        assert_eq!(no_route.rank(), Some(2));
+        assert_eq!(RunError::Cancelled { rank: 4 }.tile(), None);
     }
 
     #[test]

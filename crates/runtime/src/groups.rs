@@ -6,11 +6,13 @@
 //! As long as its own queue has work, a core would not need to compete for
 //! locks outside its group."
 //!
-//! [`run_shared_grouped`] implements exactly that: the node's workers are
+//! [`run_grouped`] implements exactly that: the node's workers are
 //! divided into `groups`, each with its own scheduler behind its own lock.
 //! Tiles are assigned to groups by a cheap hash of their coordinates;
 //! deliveries go to the owning group's scheduler, and a worker whose own
 //! group has no ready tile *steals* from the other groups before waiting.
+//! Reached through the RunBuilder's `.groups(n)` knob; the legacy
+//! [`run_shared_grouped`] free function is a deprecated shim over it.
 
 use crate::kernel::{Kernel, Value};
 use crate::memory::MemoryStats;
@@ -36,10 +38,31 @@ fn group_of(tile: &Coord, groups: usize) -> usize {
     (h % groups as u64) as usize
 }
 
-/// Run the whole problem on this process with `threads` workers split over
-/// `groups` scheduler groups (1 group degenerates to [`crate::run_shared`]
-/// behaviour).
+/// Legacy entry point for [`run_grouped`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API with `.groups(n)` (`dpgen::Program::runner` or `dpgen_core::RunBuilder::on_tiling`) or `run_grouped` directly"
+)]
 pub fn run_shared_grouped<T, K>(
+    tiling: &Tiling,
+    params: &[i64],
+    kernel: &K,
+    probe: &Probe,
+    threads: usize,
+    groups: usize,
+    priority: TilePriority,
+) -> NodeResult<T>
+where
+    T: Value,
+    K: Kernel<T>,
+{
+    run_grouped(tiling, params, kernel, probe, threads, groups, priority)
+}
+
+/// Run the whole problem on this process with `threads` workers split over
+/// `groups` scheduler groups (1 group degenerates to single-scheduler
+/// behaviour).
+pub fn run_grouped<T, K>(
     tiling: &Tiling,
     params: &[i64],
     kernel: &K,
@@ -239,7 +262,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::run_shared;
+    use crate::node::{run_node, NodeConfig, SingleOwner};
+    use crate::transport::NullTransport;
     use dpgen_polyhedra::{ConstraintSystem, Space};
     use dpgen_tiling::tiling::CellRef;
     use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
@@ -279,17 +303,23 @@ mod tests {
         let tiling = triangle(2);
         let n = 22i64;
         let probe = Probe::many(&[&[0, 0], &[5, 5], &[n, 0]]);
-        let baseline = run_shared::<u64, _>(
+        let config = NodeConfig {
+            priority: TilePriority::column_major(2),
+            ..NodeConfig::new(2, 2)
+        };
+        let baseline = run_node::<u64, _, _, _>(
             &tiling,
             &[n],
             &path_kernel,
+            &SingleOwner,
+            &NullTransport::default(),
             &probe,
-            2,
-            TilePriority::column_major(2),
-        );
+            &config,
+        )
+        .unwrap();
         for groups in [1usize, 2, 4] {
             for threads in [1usize, 2, 4] {
-                let res = run_shared_grouped::<u64, _>(
+                let res = run_grouped::<u64, _>(
                     &tiling,
                     &[n],
                     &path_kernel,
@@ -310,7 +340,7 @@ mod tests {
     #[test]
     fn groups_clamped_to_threads() {
         let tiling = triangle(3);
-        let res = run_shared_grouped::<u64, _>(
+        let res = run_grouped::<u64, _>(
             &tiling,
             &[9],
             &path_kernel,

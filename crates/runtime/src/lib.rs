@@ -31,6 +31,7 @@ pub mod error;
 pub mod groups;
 pub mod kernel;
 pub mod memory;
+pub mod metrics;
 pub mod node;
 pub mod priority;
 pub mod reduce;
@@ -38,21 +39,30 @@ pub mod reference;
 pub mod scheduler;
 pub mod sharded;
 pub mod stats;
+pub mod trace;
 pub mod transport;
 
 pub use error::{EdgeFault, RunError, StallSnapshot};
+pub use groups::run_grouped;
+#[allow(deprecated)]
 pub use groups::run_shared_grouped;
 pub use kernel::{Kernel, Value};
 pub use memory::MemoryStats;
+pub use metrics::{Histogram, Metric, MetricsRegistry};
 pub use node::{
-    run_node, run_node_reduce, run_shared, run_shared_reduce, try_run_shared,
-    try_run_shared_reduce, NodeConfig, NodeResult, Probe, SingleOwner, TileOwner,
-    DEFAULT_STALL_TIMEOUT,
+    run_node, run_node_reduce, NodeConfig, NodeResult, Probe, SingleOwner, TileOwner,
+    DEFAULT_STALL_TIMEOUT, STALL_DUMP_EVENTS,
 };
+#[allow(deprecated)]
+pub use node::{run_shared, run_shared_reduce, try_run_shared, try_run_shared_reduce};
 pub use priority::TilePriority;
 pub use reduce::Reduction;
 pub use reference::{run_reference, ReferenceResult};
 pub use scheduler::Scheduler;
 pub use sharded::{EdgeDelivery, ShardedScheduler};
 pub use stats::RunStats;
+pub use trace::{
+    EventKind, RankTrace, TileSpan, Timeline, TraceConfig, TraceEvent, TraceLevel, TraceRing,
+    Tracer, TrackSummary, TrackTrace,
+};
 pub use transport::{EdgeMsg, NullTransport, Transport, TransportError};

@@ -37,6 +37,7 @@ use crate::priority::TilePriority;
 use crate::reduce::Reduction;
 use crate::sharded::{EdgeDelivery, ShardedScheduler};
 use crate::stats::RunStats;
+use crate::trace::{EventKind, Tracer};
 use crate::transport::{EdgeMsg, Transport};
 use dpgen_tiling::{Coord, Tiling, MAX_DIMS};
 use parking_lot::{Condvar, Mutex};
@@ -81,12 +82,19 @@ pub struct NodeConfig {
     /// it between tiles and bail out with [`RunError::Cancelled`] instead
     /// of waiting out their own watchdog.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Event tracer for this rank (see [`crate::trace`]). `None` disables
+    /// tracing; the hot path then pays one pointer test per would-be event.
+    /// Must be built with `workers == threads` so worker tracks line up.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 /// Default watchdog window: generous enough for any healthy run, small
 /// enough that a wedged CI job dies with a diagnosis well before the job
 /// timeout.
 pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Trace events per track included in a [`StallSnapshot`] dump.
+pub const STALL_DUMP_EVENTS: usize = 16;
 
 impl NodeConfig {
     /// Single-rank configuration with the given thread count and the
@@ -98,12 +106,19 @@ impl NodeConfig {
             rank: 0,
             stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
             cancel: None,
+            tracer: None,
         }
     }
 
     /// Same configuration with a different watchdog window.
     pub fn with_stall_timeout(mut self, timeout: Option<Duration>) -> NodeConfig {
         self.stall_timeout = timeout;
+        self
+    }
+
+    /// Same configuration with an event tracer attached.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> NodeConfig {
+        self.tracer = tracer;
         self
     }
 }
@@ -354,13 +369,15 @@ where
     let init_time = t_start.elapsed();
 
     let threads = config.threads.max(1);
+    let tracer = config.tracer.as_deref();
     let mem = Arc::new(MemoryStats::new());
     let sched: ShardedScheduler<T> = ShardedScheduler::new(
         config.priority.clone(),
         tiling.templates().directions().to_vec(),
         threads,
         mem.clone(),
-    );
+    )
+    .with_tracer(config.tracer.clone());
     for t in initials {
         sched.mark_initial(t);
     }
@@ -409,6 +426,9 @@ where
                 .map(|a| now.saturating_sub(Duration::from_nanos(a.load(Ordering::Acquire))))
                 .collect(),
             threads,
+            recent_events: tracer
+                .map(|t| t.recent_all(STALL_DUMP_EVENTS))
+                .unwrap_or_default(),
         }
     };
 
@@ -437,6 +457,9 @@ where
             scope.spawn(move || {
                 let mut point = tiling.make_point(params);
                 let mut pool: TileBufferPool<T> = TileBufferPool::new();
+                // Tracks the current idle episode for WorkerIdle/Resume
+                // events; only maintained when a tracer is attached.
+                let mut idle_since: Option<Instant> = None;
                 // Presized from the dependency count: one local edge per
                 // template plus headroom for polled transport messages, so
                 // steady-state delivery never regrows it (deliver_batch
@@ -448,6 +471,9 @@ where
                     worker_progress[w].fetch_max(now, Ordering::Release);
                 };
                 let fail = |e: RunError| {
+                    if let Some(t) = tracer {
+                        t.record(w, EventKind::Fault, e.tile().as_ref(), e.severity() as u64);
+                    }
                     let mut slot = first_error.lock();
                     if slot.is_none() {
                         *slot = Some(e);
@@ -472,6 +498,14 @@ where
                     // Step 6 of the paper's loop: poll for incoming edges,
                     // delivered as one shard-grouped batch.
                     while let Some(msg) = transport.try_recv() {
+                        if let Some(t) = tracer {
+                            t.record(
+                                w,
+                                EventKind::EdgeRecv,
+                                Some(&msg.tile),
+                                msg.payload.len() as u64,
+                            );
+                        }
                         let total = tiling.dep_total(&msg.tile, &mut point);
                         batch.push(EdgeDelivery {
                             tile: msg.tile,
@@ -494,6 +528,12 @@ where
                         // Nothing ready anywhere: wait briefly (re-polling
                         // the transport on timeout), then let the watchdog
                         // judge how long the whole node has been idle.
+                        if let Some(t) = tracer {
+                            if idle_since.is_none() {
+                                t.record(w, EventKind::WorkerIdle, None, 0);
+                                idle_since = Some(Instant::now());
+                            }
+                        }
                         let t0 = Instant::now();
                         {
                             let mut guard = cv_mutex.lock();
@@ -510,6 +550,14 @@ where
                                 last_progress.load(Ordering::Acquire),
                             ));
                             if idle > limit {
+                                if let Some(t) = tracer {
+                                    t.record(
+                                        w,
+                                        EventKind::StallProbe,
+                                        None,
+                                        idle.as_nanos() as u64,
+                                    );
+                                }
                                 fail(RunError::Stalled(Box::new(snapshot(idle))));
                                 break;
                             }
@@ -517,6 +565,17 @@ where
                         continue;
                     };
                     note_progress();
+                    if let Some(t) = tracer {
+                        if let Some(since) = idle_since.take() {
+                            t.record(
+                                w,
+                                EventKind::WorkerResume,
+                                None,
+                                since.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        t.record(w, EventKind::TileStart, Some(&tile), edges.len() as u64);
+                    }
 
                     // --- Steps 2-5 under typed-error discipline: any
                     // failure breaks out of the labelled block and fails
@@ -633,6 +692,14 @@ where
                             })
                             .expect("edge pack scan failed");
                             edge_cells.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                            if let Some(t) = tracer {
+                                t.record(
+                                    w,
+                                    EventKind::EdgePack,
+                                    Some(&consumer),
+                                    payload.len() as u64,
+                                );
+                            }
                             let dest = owner.owner_of(&consumer);
                             if dest == config.rank {
                                 let total = tiling.dep_total(&consumer, &mut point);
@@ -655,6 +722,9 @@ where
                                 ) {
                                     break 'tile Err(e.into());
                                 }
+                                if let Some(t) = tracer {
+                                    t.record(w, EventKind::EdgeSend, Some(&consumer), dest as u64);
+                                }
                             }
                         }
                         Ok(counts)
@@ -668,6 +738,9 @@ where
                             break;
                         }
                     };
+                    if let Some(t) = tracer {
+                        t.record(w, EventKind::TileDone, Some(&tile), counts.total());
+                    }
                     cells.fetch_add(counts.total(), Ordering::Relaxed);
                     interior.fetch_add(counts.interior_cells, Ordering::Relaxed);
                     boundary.fetch_add(counts.boundary_cells, Ordering::Relaxed);
@@ -760,6 +833,11 @@ where
 
 /// Fallible [`run_shared`]: the whole problem on this process, surfacing
 /// kernel panics and stalls as typed errors.
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API (`dpgen::Program::runner` or \
+            `dpgen_core::RunBuilder::on_tiling`) or `run_node` directly"
+)]
 pub fn try_run_shared<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -778,19 +856,24 @@ where
         rank: 0,
         stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
         cancel: None,
+        tracer: None,
     };
     run_node(
         tiling,
         params,
         kernel,
         &SingleOwner,
-        &crate::transport::NullTransport,
+        &crate::transport::NullTransport::default(),
         probe,
         &config,
     )
 }
 
 /// Fallible [`run_shared_reduce`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API with `.reduce(..)` or `run_node_reduce` directly"
+)]
 pub fn try_run_shared_reduce<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -810,13 +893,14 @@ where
         rank: 0,
         stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
         cancel: None,
+        tracer: None,
     };
     run_node_reduce(
         tiling,
         params,
         kernel,
         &SingleOwner,
-        &crate::transport::NullTransport,
+        &crate::transport::NullTransport::default(),
         probe,
         &config,
         Some(reduce),
@@ -824,6 +908,10 @@ where
 }
 
 /// [`run_shared`] with a whole-space [`Reduction`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API with `.reduce(..)` or `run_node_reduce` directly"
+)]
 pub fn run_shared_reduce<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -837,12 +925,18 @@ where
     T: Value,
     K: Kernel<T>,
 {
+    #[allow(deprecated)]
     try_run_shared_reduce(tiling, params, kernel, probe, threads, priority, reduce)
         .unwrap_or_else(|e| panic!("shared run failed: {e}"))
 }
 
 /// Run the whole problem on this process with `threads` workers — the
 /// pure-OpenMP configuration of the paper's evaluation (Figure 6).
+#[deprecated(
+    since = "0.5.0",
+    note = "use the RunBuilder API (`dpgen::Program::runner` or \
+            `dpgen_core::RunBuilder::on_tiling`) or `run_node` directly"
+)]
 pub fn run_shared<T, K>(
     tiling: &Tiling,
     params: &[i64],
@@ -855,6 +949,7 @@ where
     T: Value,
     K: Kernel<T>,
 {
+    #[allow(deprecated)]
     try_run_shared(tiling, params, kernel, probe, threads, priority)
         .unwrap_or_else(|e| panic!("shared run failed: {e}"))
 }
@@ -862,9 +957,39 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::NullTransport;
     use dpgen_polyhedra::{ConstraintSystem, Space};
     use dpgen_tiling::tiling::CellRef;
     use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
+
+    /// Single-rank run through the non-deprecated engine (what the shims
+    /// and the builder both delegate to).
+    fn run_local<T, K>(
+        tiling: &Tiling,
+        params: &[i64],
+        kernel: &K,
+        probe: &Probe,
+        threads: usize,
+        priority: TilePriority,
+    ) -> Result<NodeResult<T>, RunError>
+    where
+        T: Value,
+        K: Kernel<T>,
+    {
+        let config = NodeConfig {
+            priority,
+            ..NodeConfig::new(threads, tiling.dims())
+        };
+        run_node(
+            tiling,
+            params,
+            kernel,
+            &SingleOwner,
+            &NullTransport::default(),
+            probe,
+            &config,
+        )
+    }
 
     /// Triangle "counting paths" problem: f(x) = f(x+e1) + f(x+e2), base
     /// case f = 1 on the hypotenuse-adjacent invalid reads.
@@ -919,14 +1044,15 @@ mod tests {
             let tiling = triangle(w);
             let expect = brute(n);
             let probe = Probe::many(&[&[0, 0], &[1, 2], &[n, 0]]);
-            let res: NodeResult<u64> = run_shared(
+            let res: NodeResult<u64> = run_local(
                 &tiling,
                 &[n],
                 &path_kernel,
                 &probe,
                 1,
                 TilePriority::column_major(2),
-            );
+            )
+            .unwrap();
             assert_eq!(res.probes[0], Some(expect[&(0, 0)]), "N={n} w={w}");
             assert_eq!(res.probes[1], Some(expect[&(1, 2)]));
             assert_eq!(res.probes[2], Some(expect[&(n, 0)]));
@@ -946,14 +1072,15 @@ mod tests {
                 TilePriority::LevelSet,
                 TilePriority::Fifo,
             ] {
-                let res: NodeResult<u64> = run_shared(
+                let res: NodeResult<u64> = run_local(
                     &tiling,
                     &[n],
                     &path_kernel,
                     &Probe::at(&[0, 0]),
                     threads,
                     priority,
-                );
+                )
+                .unwrap();
                 assert_eq!(res.probes[0], Some(expect[&(0, 0)]), "threads={threads}");
             }
         }
@@ -963,14 +1090,15 @@ mod tests {
     fn stats_are_plausible() {
         let tiling = triangle(3);
         let n = 12i64;
-        let res: NodeResult<u64> = run_shared(
+        let res: NodeResult<u64> = run_local(
             &tiling,
             &[n],
             &path_kernel,
             &Probe::at(&[0, 0]),
             2,
             TilePriority::column_major(2),
-        );
+        )
+        .unwrap();
         assert!(res.stats.tiles_executed > 0);
         assert_eq!(res.stats.cells_computed, ((n + 1) * (n + 2) / 2) as u64);
         assert!(res.stats.edges_local > 0);
@@ -986,14 +1114,15 @@ mod tests {
         let tiling = triangle(3);
         let n = 30i64;
         for threads in [1usize, 4] {
-            let res: NodeResult<u64> = run_shared(
+            let res: NodeResult<u64> = run_local(
                 &tiling,
                 &[n],
                 &path_kernel,
                 &Probe::at(&[0, 0]),
                 threads,
                 TilePriority::column_major(2),
-            );
+            )
+            .unwrap();
             let s = &res.stats;
             // Interior/boundary split covers every computed cell.
             assert_eq!(s.interior_cells + s.boundary_cells, s.cells_computed);
@@ -1028,28 +1157,30 @@ mod tests {
     #[test]
     fn probe_outside_space_stays_none() {
         let tiling = triangle(3);
-        let res: NodeResult<u64> = run_shared(
+        let res: NodeResult<u64> = run_local(
             &tiling,
             &[5],
             &path_kernel,
             &Probe::at(&[100, 100]),
             1,
             TilePriority::Fifo,
-        );
+        )
+        .unwrap();
         assert_eq!(res.probes[0], None);
     }
 
     #[test]
     fn empty_probe_works() {
         let tiling = triangle(3);
-        let res: NodeResult<u64> = run_shared(
+        let res: NodeResult<u64> = run_local(
             &tiling,
             &[5],
             &path_kernel,
             &Probe::default(),
             1,
             TilePriority::Fifo,
-        );
+        )
+        .unwrap();
         assert!(res.probes.is_empty());
         assert!(res.stats.tiles_executed > 0);
     }
@@ -1065,7 +1196,7 @@ mod tests {
             }
             path_kernel(cell, values);
         };
-        let err = try_run_shared::<u64, _>(
+        let err = run_local::<u64, _>(
             &tiling,
             &[n],
             &bomb,
@@ -1089,7 +1220,7 @@ mod tests {
         let tiling = triangle(2);
         let bomb = |_: CellRef<'_>, _: &mut [u64]| panic!("every tile fails");
         for threads in [1usize, 4] {
-            let err = try_run_shared::<u64, _>(
+            let err = run_local::<u64, _>(
                 &tiling,
                 &[15],
                 &bomb,
@@ -1114,7 +1245,7 @@ mod tests {
             &[12],
             &path_kernel,
             &SingleOwner,
-            &crate::transport::NullTransport,
+            &NullTransport::default(),
             &Probe::at(&[0, 0]),
             &config,
         )
@@ -1135,7 +1266,7 @@ mod tests {
             &[20],
             &path_kernel,
             &SingleOwner,
-            &crate::transport::NullTransport,
+            &NullTransport::default(),
             &Probe::default(),
             &config,
         )

@@ -37,6 +37,24 @@ impl<T: Copy> ReferenceResult<T> {
         (&self.lb, &self.ub)
     }
 
+    /// Fold every computed cell value (pad cells and points outside the
+    /// space are skipped). This is the serial counterpart of the tiled
+    /// runtime's whole-space [`crate::Reduction`].
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+        let mut acc = init;
+        for (i, &done) in self.computed.iter().enumerate() {
+            if done {
+                acc = f(acc, self.values[i]);
+            }
+        }
+        acc
+    }
+
+    /// Number of cells the reference run computed.
+    pub fn cells_computed(&self) -> u64 {
+        self.computed.iter().filter(|&&c| c).count() as u64
+    }
+
     fn index(&self, x: &[i64]) -> Option<usize> {
         if x.len() != self.lb.len() {
             return None;
@@ -163,8 +181,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::{run_shared, Probe};
+    use crate::node::{run_node, NodeConfig, Probe, SingleOwner};
     use crate::priority::TilePriority;
+    use crate::transport::NullTransport;
     use dpgen_polyhedra::{ConstraintSystem, Space};
     use dpgen_tiling::{Template, TemplateSet, TilingBuilder};
 
@@ -204,14 +223,20 @@ mod tests {
         let n = 11i64;
         let reference = run_reference::<u64, _>(&tiling, &[n], &path_kernel);
         let probe = Probe::many(&[&[0, 0], &[3, 3], &[n, 0], &[0, n]]);
-        let tiled = run_shared::<u64, _>(
+        let config = NodeConfig {
+            priority: TilePriority::column_major(2),
+            ..NodeConfig::new(2, 2)
+        };
+        let tiled = run_node::<u64, _, _, _>(
             &tiling,
             &[n],
             &path_kernel,
+            &SingleOwner,
+            &NullTransport::default(),
             &probe,
-            2,
-            TilePriority::column_major(2),
-        );
+            &config,
+        )
+        .unwrap();
         for (i, c) in probe.coords().iter().enumerate() {
             assert_eq!(tiled.probes[i], reference.get(c.as_slice()), "at {c}");
         }

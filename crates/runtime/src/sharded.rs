@@ -33,6 +33,7 @@
 use crate::memory::MemoryStats;
 use crate::priority::TilePriority;
 use crate::scheduler::TileEdges;
+use crate::trace::{EventKind, Tracer};
 use dpgen_tiling::{Coord, Direction};
 use parking_lot::{Mutex, MutexGuard};
 use std::cmp::Reverse;
@@ -106,6 +107,7 @@ pub struct ShardedScheduler<T> {
     steals: AtomicU64,
     steal_fails: AtomicU64,
     lock_wait_ns: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
 }
 
 fn hash_coord(tile: &Coord) -> u64 {
@@ -149,7 +151,15 @@ impl<T> ShardedScheduler<T> {
             steals: AtomicU64::new(0),
             steal_fails: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
+            tracer: None,
         }
+    }
+
+    /// Attach an event tracer: `TileReady` is recorded when a tile enters
+    /// a ready queue, `Steal` when a worker takes a tile from a sibling.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> ShardedScheduler<T> {
+        self.tracer = tracer;
+        self
     }
 
     /// Number of worker queues.
@@ -180,6 +190,9 @@ impl<T> ShardedScheduler<T> {
     }
 
     fn push_ready(&self, worker: usize, entry: ReadyTile<T>) {
+        if let Some(t) = &self.tracer {
+            t.record(worker, EventKind::TileReady, Some(&entry.tile), 0);
+        }
         let q = &self.queues[worker];
         self.timed_lock(&q.heap).push(Reverse(entry));
         q.len.fetch_add(1, Ordering::Release);
@@ -346,6 +359,9 @@ impl<T> ShardedScheduler<T> {
         match self.pop_from(v) {
             Some(t) => {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = &self.tracer {
+                    tr.record(worker, EventKind::Steal, Some(&t.tile), v as u64);
+                }
                 Some(t)
             }
             None => {

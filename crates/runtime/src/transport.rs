@@ -115,13 +115,31 @@ pub trait Transport<T>: Send + Sync {
 
 /// Transport for single-node runs: sending fails with
 /// [`TransportError::NoRoute`], receiving yields nothing.
+///
+/// Carries the rank it serves so an emitted `NoRoute` names the *actual*
+/// sending rank (it used to hard-code rank 0, which mislabelled the source
+/// of a mis-partitioned multi-rank run using a null transport).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct NullTransport;
+pub struct NullTransport {
+    rank: usize,
+}
+
+impl NullTransport {
+    /// A null transport reporting `rank` as the sender in its errors.
+    pub fn at_rank(rank: usize) -> NullTransport {
+        NullTransport { rank }
+    }
+
+    /// The rank this transport serves.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
 
 impl<T> Transport<T> for NullTransport {
     fn send(&self, dest: usize, msg: EdgeMsg<T>) -> Result<(), TransportError> {
         Err(TransportError::NoRoute {
-            from: 0,
+            from: self.rank,
             dest,
             tile: msg.tile,
         })
@@ -138,7 +156,7 @@ mod tests {
 
     #[test]
     fn null_transport_receives_nothing() {
-        let t = NullTransport;
+        let t = NullTransport::default();
         assert_eq!(Transport::<f64>::try_recv(&t), None);
         assert!(Transport::<f64>::flush(&t));
         assert_eq!(Transport::<f64>::in_flight(&t), 0);
@@ -146,21 +164,30 @@ mod tests {
 
     #[test]
     fn null_transport_send_is_a_typed_no_route() {
-        let t = NullTransport;
+        let t = NullTransport::at_rank(3);
         let err = t
             .send(
                 1,
                 EdgeMsg {
-                    tile: Coord::from_slice(&[0]),
-                    delta: Coord::from_slice(&[1]),
+                    tile: Coord::from_slice(&[4, 2]),
+                    delta: Coord::from_slice(&[1, 0]),
                     payload: vec![1.0f64],
                 },
             )
             .unwrap_err();
         match &err {
-            TransportError::NoRoute { dest: 1, .. } => {}
-            other => panic!("expected NoRoute, got {other:?}"),
+            TransportError::NoRoute {
+                from: 3,
+                dest: 1,
+                tile,
+            } => {
+                // The error names the offending tile, not just the route.
+                assert_eq!(*tile, Coord::from_slice(&[4, 2]));
+            }
+            other => panic!("expected NoRoute from rank 3, got {other:?}"),
         }
-        assert!(err.to_string().contains("no route"), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("(4, 2)"), "{msg}");
     }
 }

@@ -33,15 +33,20 @@ fn main() {
     }
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let result =
-        program.run_shared::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), threads);
+    let result = program
+        .runner(&[n])
+        .threads(threads)
+        .probe(Probe::at(&[0; 6]))
+        .run(&problem.kernel())
+        .expect("run succeeds");
     let v = result.probes[0].expect("origin inside space");
+    let stats = &result.per_rank[0].stats;
     println!(
         "V(0) with N = {n}: {v:.5} (uniform priors; fixed play earns {:.1})",
         n as f64 / 2.0
     );
     println!(
         "  {} cells, {} tiles, {:?} on {threads} threads",
-        result.stats.cells_computed, result.stats.tiles_executed, result.stats.total_time
+        stats.cells_computed, stats.tiles_executed, stats.total_time
     );
 }

@@ -29,13 +29,13 @@ fn main() {
     };
     let program = Bandit2::program(8).expect("bandit2 generates");
 
-    let result = program.run_hybrid::<f64, _>(
-        &[n],
-        &problem.kernel(),
-        &Probe::at(&[0, 0, 0, 0]),
-        ranks,
-        threads,
-    );
+    let result = program
+        .runner(&[n])
+        .threads(threads)
+        .ranks(ranks)
+        .probe(Probe::at(&[0, 0, 0, 0]))
+        .run(&problem.kernel())
+        .expect("run succeeds");
     let v = result.probes[0].expect("origin inside space");
 
     // Best fixed allocation: always the arm with the higher prior mean.
@@ -57,10 +57,11 @@ fn main() {
         result.edges_remote(),
         result.bytes_sent()
     );
+    let balance = result.balance.as_ref().expect("hybrid runs are balanced");
     println!(
         "  load balance: work per rank {:?} (imbalance {:.3})",
-        result.balance.rank_work,
-        result.balance.imbalance()
+        balance.rank_work,
+        balance.imbalance()
     );
     println!("  wall time: {:?}", result.total_time);
 }

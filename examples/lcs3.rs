@@ -18,17 +18,18 @@ fn main() {
     let program = Lcs::program(3, 16).expect("lcs3 generates");
 
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let result = program.run_shared::<i64, _>(
-        &problem.params(),
-        &problem,
-        &Probe::at(&problem.goal()),
-        threads,
-    );
+    let result = program
+        .runner(&problem.params())
+        .threads(threads)
+        .probe(Probe::at(&problem.goal()))
+        .run(&problem)
+        .expect("run succeeds");
     let lcs_len = result.probes[0].expect("goal inside space");
+    let stats = &result.per_rank[0].stats;
     println!("LCS of three random DNA strands of length {len}: {lcs_len}");
     println!(
         "  {} cells in {:?} on {threads} threads ({} tiles)",
-        result.stats.cells_computed, result.stats.total_time, result.stats.tiles_executed
+        stats.cells_computed, stats.total_time, stats.tiles_executed
     );
     // Pairwise LCS upper-bounds the 3-way LCS.
     let lab = Lcs::new(&[&a, &b]);
@@ -41,11 +42,11 @@ fn main() {
 
 fn program_pair(problem: &Lcs, threads: usize) -> i64 {
     let program = Lcs::program(2, 64).expect("lcs2 generates");
-    let res = program.run_shared::<i64, _>(
-        &problem.params(),
-        problem,
-        &Probe::at(&problem.goal()),
-        threads,
-    );
+    let res = program
+        .runner(&problem.params())
+        .threads(threads)
+        .probe(Probe::at(&problem.goal()))
+        .run(problem)
+        .expect("run succeeds");
     res.probes[0].unwrap()
 }

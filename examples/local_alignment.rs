@@ -6,10 +6,8 @@
 //!
 //! Run with: `cargo run --release --example local_alignment [len] [ranks]`
 
-use dpgen::core::driver::HybridConfig;
-use dpgen::core::run_hybrid_reduce;
 use dpgen::problems::{random_sequence, SmithWaterman};
-use dpgen::runtime::{Probe, Reduction};
+use dpgen::runtime::Reduction;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -26,15 +24,13 @@ fn main() {
     let problem = SmithWaterman::new(&a, &b);
     let program = SmithWaterman::program(64).expect("smith_waterman generates");
     let reduce = Reduction::max_i64();
-    let config = HybridConfig::new(ranks, 2, vec![0]);
-    let result = run_hybrid_reduce::<i64, _>(
-        program.tiling(),
-        &problem.params(),
-        &problem,
-        &Probe::default(),
-        &config,
-        Some(&reduce),
-    );
+    let result = program
+        .runner(&problem.params())
+        .threads(2)
+        .ranks(ranks)
+        .reduce(&reduce)
+        .run(&problem)
+        .expect("run succeeds");
     let best = result.reduction.expect("reduction requested");
     println!("best local alignment score over {len}x{len}: {best}");
     println!(

@@ -79,12 +79,12 @@ fn main() {
         }
     }
     println!("alignment (sum-of-pairs cost {}):", {
-        let res = program.run_shared::<i64, _>(
-            &problem.params(),
-            &problem,
-            &dpgen::runtime::Probe::at(&problem.goal()),
-            4,
-        );
+        let res = program
+            .runner(&problem.params())
+            .threads(4)
+            .probe(dpgen::runtime::Probe::at(&problem.goal()))
+            .run(&problem)
+            .expect("run succeeds");
         res.probes[0].unwrap()
     });
     for (k, row) in rows.iter().enumerate() {

@@ -11,7 +11,7 @@
 
 use dpgen::core::Program;
 use dpgen::problems::random_sequence;
-use dpgen::runtime::Probe;
+use dpgen::runtime::{Probe, TraceLevel};
 use dpgen::tiling::tiling::CellRef;
 
 fn main() {
@@ -61,19 +61,32 @@ fn main() {
     let goal = [params[0], params[1]];
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 
-    let result = program.run_shared::<i64, _>(&params, &kernel, &Probe::at(&goal), threads);
+    let result = program
+        .runner(&params)
+        .threads(threads)
+        .trace(TraceLevel::Spans)
+        .probe(Probe::at(&goal))
+        .run(&kernel)
+        .expect("run succeeds");
     println!(
         "edit distance of {}x{} strings = {}",
         a.len(),
         b.len(),
         result.probes[0].expect("goal inside space")
     );
+    let stats = &result.per_rank[0].stats;
     println!(
         "tiles executed: {}, cells computed: {}, wall time: {:?} on {threads} threads",
-        result.stats.tiles_executed, result.stats.cells_computed, result.stats.total_time
+        stats.tiles_executed, stats.cells_computed, stats.total_time
     );
     println!(
         "peak memory: {} live tile(s), {} buffered edge cells",
-        result.stats.peak_live_tiles, result.stats.peak_edge_cells
+        stats.peak_live_tiles, stats.peak_edge_cells
     );
+    // `.trace(TraceLevel::Spans)` recorded a per-worker timeline; dump the
+    // compact flamegraph-style summary (use `to_chrome_trace()` for a JSON
+    // file loadable in chrome://tracing or https://ui.perfetto.dev).
+    if let Some(timeline) = &result.timeline {
+        println!("\n{}", timeline.text_summary());
+    }
 }

@@ -54,12 +54,23 @@
 //! };
 //!
 //! // Shared-memory run (2 workers), probing f(0, 0): 2^(N+1) paths.
-//! let result = program.run_shared::<u64, _>(&[10], &kernel, &Probe::at(&[0, 0]), 2);
-//! assert_eq!(result.probes[0], Some(2048));
+//! let result = program
+//!     .runner(&[10])
+//!     .threads(2)
+//!     .probe(Probe::at(&[0, 0]))
+//!     .run(&kernel)
+//!     .unwrap();
+//! assert_eq!(result.probes[0], Some(2048u64));
 //!
 //! // The same problem across 2 simulated MPI ranks x 2 threads.
-//! let hybrid = program.run_hybrid::<u64, _>(&[10], &kernel, &Probe::at(&[0, 0]), 2, 2);
-//! assert_eq!(hybrid.probes[0], Some(2048));
+//! let hybrid = program
+//!     .runner(&[10])
+//!     .threads(2)
+//!     .ranks(2)
+//!     .probe(Probe::at(&[0, 0]))
+//!     .run(&kernel)
+//!     .unwrap();
+//! assert_eq!(hybrid.probes[0], Some(2048u64));
 //! ```
 
 pub use dpgen_codegen as codegen;

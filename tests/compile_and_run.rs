@@ -7,9 +7,9 @@
 
 use dpgen::codegen::emit_c;
 use dpgen::core::spec::bandit2_spec_text;
-use dpgen::core::Program;
+use dpgen::core::{Program, RunBuilder};
 use dpgen::problems::Bandit2;
-use dpgen::runtime::{run_shared_reduce, Probe, Reduction, TilePriority};
+use dpgen::runtime::{Reduction, TilePriority};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -92,16 +92,16 @@ fn generated_bandit2_compiles_runs_and_matches_rust() {
     // computed values.
     let problem = Bandit2::default();
     let reduce = Reduction::new(0.0f64, |a, b| a + b);
-    let res = run_shared_reduce::<f64, _>(
-        program.tiling(),
-        &[n],
-        &problem.kernel(),
-        &Probe::default(),
-        1,
-        TilePriority::column_major(4),
-        &reduce,
+    let res = RunBuilder::<f64>::on_tiling(program.tiling(), &[n])
+        .threads(1)
+        .priority(TilePriority::column_major(4))
+        .reduce(&reduce)
+        .run(&problem.kernel())
+        .unwrap();
+    assert_eq!(
+        c_tiles, res.per_rank[0].stats.tiles_executed,
+        "tile counts differ"
     );
-    assert_eq!(c_tiles, res.stats.tiles_executed, "tile counts differ");
     let rust_checksum = res.reduction.unwrap();
     let rel = (c_checksum - rust_checksum).abs() / rust_checksum.abs().max(1.0);
     assert!(

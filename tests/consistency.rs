@@ -3,12 +3,10 @@
 //! and the hybrid driver must agree exactly with the dense reference
 //! executor.
 
-use dpgen::core::driver::{run_hybrid, HybridConfig};
+use dpgen::core::RunBuilder;
 use dpgen::polyhedra::{ConstraintSystem, Space};
 use dpgen::problems::{random_sequence, Bandit2, Lcs, SmithWaterman};
-use dpgen::runtime::{
-    run_reference, run_shared, run_shared_reduce, Probe, Reduction, TilePriority,
-};
+use dpgen::runtime::{run_reference, Probe, Reduction, TilePriority};
 use dpgen::tiling::tiling::CellRef;
 use dpgen::tiling::{Template, TemplateSet, Tiling, TilingBuilder};
 use proptest::prelude::*;
@@ -118,14 +116,19 @@ proptest! {
         let coords: Vec<[i64; 2]> = vec![[0, 0], [n, 0], [0, n / 2], [n / 2, n / 4]];
         let refs: Vec<&[i64]> = coords.iter().map(|c| c.as_slice()).collect();
         let probe = Probe::many(&refs);
-        let res = run_shared::<i64, _>(
-            &tiling, &[n], &generic_kernel, &probe, threads,
-            TilePriority::column_major(2),
-        );
+        let res = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+            .threads(threads)
+            .priority(TilePriority::column_major(2))
+            .probe(probe)
+            .run(&generic_kernel)
+            .unwrap();
         for (i, c) in coords.iter().enumerate() {
             prop_assert_eq!(res.probes[i], reference.get(c), "at {:?}", c);
         }
-        prop_assert_eq!(res.stats.cells_computed as u128, tiling.total_cells(&[n]));
+        prop_assert_eq!(
+            res.per_rank[0].stats.cells_computed as u128,
+            tiling.total_cells(&[n])
+        );
     }
 
     #[test]
@@ -149,9 +152,12 @@ proptest! {
         ];
         let refs: Vec<&[i64]> = coords.iter().map(|c| c.as_slice()).collect();
         let probe = Probe::many(&refs);
-        let res = run_shared::<i64, _>(
-            &tiling, &[n], &kernel, &probe, threads, TilePriority::column_major(2),
-        );
+        let res = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+            .threads(threads)
+            .priority(TilePriority::column_major(2))
+            .probe(probe)
+            .run(&kernel)
+            .unwrap();
         for (i, c) in coords.iter().enumerate() {
             prop_assert_eq!(res.probes[i], reference.get(c), "at {:?}", c);
         }
@@ -167,9 +173,13 @@ proptest! {
             return Ok(());
         };
         let reference = run_reference::<i64, _>(&tiling, &[n], &kernel);
-        let probe = Probe::at(&[0, 0]);
-        let config = HybridConfig::new(ranks, 2, vec![0]);
-        let res = run_hybrid::<i64, _>(&tiling, &[n], &kernel, &probe, &config);
+        let res = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+            .ranks(ranks)
+            .threads(2)
+            .lb_dims(vec![0])
+            .probe(Probe::at(&[0, 0]))
+            .run(&kernel)
+            .unwrap();
         prop_assert_eq!(res.probes[0], reference.get(&[0, 0]));
         // Conservation: every cell computed exactly once across ranks.
         prop_assert_eq!(res.cells_computed() as u128, tiling.total_cells(&[n]));
@@ -182,11 +192,13 @@ proptest! {
         threads in 1usize..4,
     ) {
         let Some(tiling) = build_tiling(&[], (w, w)) else { return Ok(()) };
-        let res = run_shared::<i64, _>(
-            &tiling, &[n], &kernel, &Probe::default(), threads,
-            TilePriority::LevelSet,
-        );
-        prop_assert_eq!(res.stats.cells_computed as u128, tiling.total_cells(&[n]));
+        let res = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+            .threads(threads)
+            .priority(TilePriority::LevelSet)
+            .run(&kernel)
+            .unwrap();
+        let stats = &res.per_rank[0].stats;
+        prop_assert_eq!(stats.cells_computed as u128, tiling.total_cells(&[n]));
         // Edges: every tile dependency crossing produces exactly one edge.
         let mut point = tiling.make_point(&[n]);
         let mut expect_edges = 0u64;
@@ -195,7 +207,7 @@ proptest! {
         for t in &tiles {
             expect_edges += tiling.dep_total(t, &mut point) as u64;
         }
-        prop_assert_eq!(res.stats.edges_local, expect_edges);
+        prop_assert_eq!(stats.edges_local, expect_edges);
     }
 }
 
@@ -247,21 +259,19 @@ fn lcs_matrix_bit_identical_across_threads_and_widths() {
         assert_eq!(reference.get(&goal), Some(want), "reference vs dense");
         for threads in THREAD_MATRIX {
             let probe = Probe::many(&[&goal, &mid]);
-            let res = run_shared::<i64, _>(
-                program.tiling(),
-                &problem.params(),
-                &problem,
-                &probe,
-                threads,
-                TilePriority::column_major(2),
-            );
+            let res = RunBuilder::<i64>::on_tiling(program.tiling(), &problem.params())
+                .threads(threads)
+                .priority(TilePriority::column_major(2))
+                .probe(probe)
+                .run(&problem)
+                .unwrap();
             assert_eq!(res.probes[0], Some(want), "w={width} threads={threads}");
             assert_eq!(
                 res.probes[1],
                 reference.get(&mid),
                 "w={width} threads={threads}"
             );
-            assert_hot_path_stats(&res.stats, threads, &format!("lcs w={width}"));
+            assert_hot_path_stats(&res.per_rank[0].stats, threads, &format!("lcs w={width}"));
         }
     }
 }
@@ -279,17 +289,14 @@ fn smith_waterman_matrix_bit_identical() {
         let program = SmithWaterman::program(width).unwrap();
         for threads in THREAD_MATRIX {
             let reduce = Reduction::max_i64();
-            let res = run_shared_reduce::<i64, _>(
-                program.tiling(),
-                &problem.params(),
-                &problem,
-                &Probe::default(),
-                threads,
-                TilePriority::column_major(2),
-                &reduce,
-            );
+            let res = RunBuilder::<i64>::on_tiling(program.tiling(), &problem.params())
+                .threads(threads)
+                .priority(TilePriority::column_major(2))
+                .reduce(&reduce)
+                .run(&problem)
+                .unwrap();
             assert_eq!(res.reduction, Some(want), "w={width} threads={threads}");
-            assert_hot_path_stats(&res.stats, threads, &format!("sw w={width}"));
+            assert_hot_path_stats(&res.per_rank[0].stats, threads, &format!("sw w={width}"));
         }
     }
 }
@@ -310,17 +317,19 @@ fn bandit2_matrix_bit_identical() {
         let reference = run_reference::<f64, _>(program.tiling(), &[n], &kernel);
         let ref_bits = reference.get(&origin).unwrap().to_bits();
         for threads in THREAD_MATRIX {
-            let res = run_shared::<f64, _>(
-                program.tiling(),
-                &[n],
-                &kernel,
-                &Probe::at(&origin),
-                threads,
-                TilePriority::column_major(4),
-            );
+            let res = RunBuilder::<f64>::on_tiling(program.tiling(), &[n])
+                .threads(threads)
+                .priority(TilePriority::column_major(4))
+                .probe(Probe::at(&origin))
+                .run(&kernel)
+                .unwrap();
             let got = res.probes[0].unwrap().to_bits();
             assert_eq!(got, ref_bits, "w={width} threads={threads} vs reference");
-            assert_hot_path_stats(&res.stats, threads, &format!("bandit2 w={width}"));
+            assert_hot_path_stats(
+                &res.per_rank[0].stats,
+                threads,
+                &format!("bandit2 w={width}"),
+            );
             // Also identical across widths: per-cell arithmetic never
             // depends on tiling geometry.
             assert_eq!(*bits.get_or_insert(got), got, "w={width} threads={threads}");

@@ -2,9 +2,8 @@
 //! shared-memory and hybrid executions all agree with independent dense
 //! solvers, for every workload in `dpgen-problems`.
 
-use dpgen::core::driver::HybridConfig;
 use dpgen::core::loadbalance::BalanceMethod;
-use dpgen::core::Program;
+use dpgen::core::{Program, RunBuilder};
 use dpgen::mpisim::CommConfig;
 use dpgen::problems::{random_sequence, Bandit2, Bandit3, EditDistance, Lcs, Msa};
 use dpgen::runtime::{Probe, TilePriority};
@@ -19,12 +18,18 @@ fn bandit2_all_execution_modes_agree() {
     let probe = Probe::at(&[0, 0, 0, 0]);
 
     // Serial reference (dense, untiled).
-    let serial = program.run_serial::<f64, _>(&[n], &kernel);
-    assert!((serial.get(&[0, 0, 0, 0]).unwrap() - want).abs() < 1e-9);
+    let serial = program.runner::<f64>(&[n]).serial().run(&kernel).unwrap();
+    let reference = serial.reference.expect("serial mode yields dense result");
+    assert!((reference.get(&[0, 0, 0, 0]).unwrap() - want).abs() < 1e-9);
 
     // Shared memory at several thread counts.
     for threads in [1usize, 3, 8] {
-        let res = program.run_shared::<f64, _>(&[n], &kernel, &probe, threads);
+        let res = program
+            .runner::<f64>(&[n])
+            .threads(threads)
+            .probe(probe.clone())
+            .run(&kernel)
+            .unwrap();
         assert!(
             (res.probes[0].unwrap() - want).abs() < 1e-9,
             "threads {threads}"
@@ -33,7 +38,13 @@ fn bandit2_all_execution_modes_agree() {
 
     // Hybrid at several rank × thread shapes.
     for (ranks, threads) in [(2usize, 2usize), (4, 1), (3, 3)] {
-        let res = program.run_hybrid::<f64, _>(&[n], &kernel, &probe, ranks, threads);
+        let res = program
+            .runner::<f64>(&[n])
+            .ranks(ranks)
+            .threads(threads)
+            .probe(probe.clone())
+            .run(&kernel)
+            .unwrap();
         assert!(
             (res.probes[0].unwrap() - want).abs() < 1e-9,
             "{ranks}x{threads}"
@@ -50,7 +61,12 @@ fn bandit2_paper_value_grows_with_horizon() {
     let probe = Probe::at(&[0, 0, 0, 0]);
     let mut last = 0.5;
     for n in [2i64, 8, 20, 40] {
-        let res = program.run_shared::<f64, _>(&[n], &kernel, &probe, 4);
+        let res = program
+            .runner::<f64>(&[n])
+            .threads(4)
+            .probe(probe.clone())
+            .run(&kernel)
+            .unwrap();
         let per_trial = res.probes[0].unwrap() / n as f64;
         assert!(per_trial > last - 1e-9, "N={n}: {per_trial} vs {last}");
         last = per_trial;
@@ -67,7 +83,13 @@ fn bandit3_hybrid_agrees_with_dense() {
     let n = 6i64;
     let want = problem.solve_dense(n);
     let program = Bandit3::program(2).unwrap();
-    let res = program.run_hybrid::<f64, _>(&[n], &problem.kernel(), &Probe::at(&[0; 6]), 2, 2);
+    let res = program
+        .runner::<f64>(&[n])
+        .ranks(2)
+        .threads(2)
+        .probe(Probe::at(&[0; 6]))
+        .run(&problem.kernel())
+        .unwrap();
     assert!((res.probes[0].unwrap() - want).abs() < 1e-9);
 }
 
@@ -87,15 +109,15 @@ fn alignment_problems_agree_under_every_balance_method() {
         },
         BalanceMethod::Hyperplane,
     ] {
-        let config = HybridConfig {
-            ranks: 3,
-            threads_per_rank: 2,
-            priority: None,
-            comm: CommConfig::default(),
-            balance: balance.clone(),
-            stall_timeout: Some(std::time::Duration::from_secs(60)),
-        };
-        let res = program.run_hybrid_with::<i64, _>(&params, &problem, &probe, &config);
+        let res = program
+            .runner::<i64>(&params)
+            .ranks(3)
+            .threads(2)
+            .balance(balance.clone())
+            .stall_timeout(Some(std::time::Duration::from_secs(60)))
+            .probe(probe.clone())
+            .run(&problem)
+            .unwrap();
         assert_eq!(res.probes[0].unwrap(), want, "{balance:?}");
     }
 }
@@ -107,19 +129,18 @@ fn priorities_do_not_change_results() {
     let problem = Lcs::new(&[&a, &b]);
     let want = problem.solve_dense();
     let program = Lcs::program(2, 4).unwrap();
+    let params = problem.params();
     for priority in [
         TilePriority::column_major(2),
         TilePriority::LevelSet,
         TilePriority::Fifo,
     ] {
-        let res = dpgen::runtime::run_shared::<i64, _>(
-            program.tiling(),
-            &problem.params(),
-            &problem,
-            &Probe::at(&problem.goal()),
-            4,
-            priority.clone(),
-        );
+        let res = RunBuilder::<i64>::on_tiling(program.tiling(), &params)
+            .threads(4)
+            .priority(priority.clone())
+            .probe(Probe::at(&problem.goal()))
+            .run(&problem)
+            .unwrap();
         assert_eq!(res.probes[0].unwrap(), want, "{priority:?}");
     }
 }
@@ -132,26 +153,22 @@ fn msa3_hybrid_with_tiny_buffers() {
     let problem = Msa::new(&[&a, &b, &c]);
     let want = problem.solve_dense();
     let program = Msa::program(3, 3).unwrap();
-    let config = HybridConfig {
-        ranks: 4,
-        threads_per_rank: 2,
-        priority: None,
-        comm: CommConfig {
+    let res = program
+        .runner::<i64>(&problem.params())
+        .ranks(4)
+        .threads(2)
+        .comm(CommConfig {
             send_buffers: 1,
             recv_buffers: 1,
             ..CommConfig::default()
-        },
-        balance: BalanceMethod::Slabs {
+        })
+        .balance(BalanceMethod::Slabs {
             lb_dims: vec![0, 1],
-        },
-        stall_timeout: Some(std::time::Duration::from_secs(60)),
-    };
-    let res = program.run_hybrid_with::<i64, _>(
-        &problem.params(),
-        &problem,
-        &Probe::at(&problem.goal()),
-        &config,
-    );
+        })
+        .stall_timeout(Some(std::time::Duration::from_secs(60)))
+        .probe(Probe::at(&problem.goal()))
+        .run(&problem)
+        .unwrap();
     assert_eq!(res.probes[0].unwrap(), want);
 }
 
@@ -185,7 +202,12 @@ fn spec_text_round_trip_runs() {
         };
         values[cell.loc] = a + b;
     };
-    let res = program.run_shared::<u64, _>(&[10], &kernel, &Probe::at(&[0, 0]), 2);
+    let res = program
+        .runner::<u64>(&[10])
+        .threads(2)
+        .probe(Probe::at(&[0, 0]))
+        .run(&kernel)
+        .unwrap();
     // f(0,0) counts monotone lattice paths of length N+1 from the
     // hypotenuse: 2^(N+1).
     assert_eq!(res.probes[0], Some(2u64.pow(11)));

@@ -3,8 +3,8 @@
 //! edges while level-set order buffers about `2(n − 1)` — almost `d` times
 //! more (Section V-B).
 
-use dpgen::core::Program;
-use dpgen::runtime::{run_shared, Probe, TilePriority};
+use dpgen::core::{Program, RunBuilder};
+use dpgen::runtime::TilePriority;
 use dpgen::tiling::tiling::CellRef;
 
 fn grid(n_tiles: i64, width: i64) -> (Program, i64) {
@@ -34,15 +34,12 @@ fn kernel(cell: CellRef<'_>, values: &mut [u64]) {
 }
 
 fn peak_edges(program: &Program, n: i64, priority: TilePriority) -> i64 {
-    let res = run_shared::<u64, _>(
-        program.tiling(),
-        &[n],
-        &kernel,
-        &Probe::default(),
-        1,
-        priority,
-    );
-    res.stats.peak_edges
+    let res = RunBuilder::<u64>::on_tiling(program.tiling(), &[n])
+        .threads(1)
+        .priority(priority)
+        .run(&kernel)
+        .unwrap();
+    res.per_rank[0].stats.peak_edges
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Observability layer end-to-end: trace rings, timelines, Chrome-trace
+//! export, unified metrics — and the RunBuilder/legacy-shim equivalence
+//! the deprecation shims promise.
+
+use dpgen::problems::{random_sequence, Bandit2, Lcs};
+use dpgen::runtime::{EventKind, Probe, TraceLevel, TraceRing};
+use dpgen::tiling::Coord;
+use std::collections::{HashMap, HashSet};
+
+fn lcs_fixture() -> (Lcs, dpgen::core::Program) {
+    let a = random_sequence(40, 71);
+    let b = random_sequence(44, 72);
+    let problem = Lcs::new(&[&a, &b]);
+    let program = Lcs::program(2, 8).unwrap();
+    (problem, program)
+}
+
+/// The ring keeps exactly the newest `capacity` events, counts every
+/// record, and reports the overwritten remainder as dropped.
+#[test]
+fn trace_ring_overflow_drops_oldest_with_exact_counters() {
+    let ring = TraceRing::new(16);
+    let tile = Coord::from_slice(&[3, 4]);
+    for i in 0..40u64 {
+        ring.record(i, EventKind::TileStart, Some(&tile), i);
+    }
+    assert_eq!(ring.capacity(), 16);
+    assert_eq!(ring.recorded(), 40);
+    assert_eq!(ring.dropped(), 24);
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 16);
+    let ts: Vec<u64> = events.iter().map(|e| e.ts).collect();
+    assert_eq!(ts, (24..40).collect::<Vec<_>>(), "oldest must be dropped");
+    for e in &events {
+        assert_eq!(e.kind, EventKind::TileStart);
+        assert_eq!(e.tile.as_ref(), Some(&tile));
+        assert_eq!(e.aux, e.ts);
+    }
+}
+
+/// `TraceLevel::Off` (the default) yields no timeline and registers no
+/// trace metrics — the observability layer leaves no footprint.
+#[test]
+fn trace_off_produces_no_timeline_or_trace_metrics() {
+    let (problem, program) = lcs_fixture();
+    let out = program
+        .runner::<i64>(&problem.params())
+        .threads(4)
+        .ranks(2)
+        .probe(Probe::at(&problem.goal()))
+        .run(&problem)
+        .unwrap();
+    assert_eq!(out.probes[0], Some(problem.solve_dense()));
+    assert!(out.timeline.is_none(), "Off must not build a timeline");
+    assert!(out.metrics.counter("trace.events_recorded").is_none());
+    assert!(out.metrics.counter("trace.spans").is_none());
+    assert!(out.metrics.names_with_prefix("trace.").next().is_none());
+}
+
+/// The Chrome-trace export is valid JSON whose per-(pid, tid) event
+/// streams are nondecreasing in `ts`, with at least one complete (`X`)
+/// tile span.
+#[test]
+fn chrome_trace_json_parses_with_monotone_ts_per_track() {
+    let (problem, program) = lcs_fixture();
+    let out = program
+        .runner::<i64>(&problem.params())
+        .threads(2)
+        .ranks(2)
+        .trace(TraceLevel::Full)
+        .probe(Probe::at(&problem.goal()))
+        .run(&problem)
+        .unwrap();
+    let timeline = out.timeline.expect("Full must build a timeline");
+    let json = timeline.to_chrome_trace();
+    let v = serde_json::from_str(&json).expect("chrome trace must be valid JSON");
+    assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut last_ts: HashMap<(i64, i64), f64> = HashMap::new();
+    let mut complete_spans = 0usize;
+    for e in events {
+        let ph = e["ph"].as_str().expect("every event has a phase");
+        if ph == "M" {
+            continue; // metadata records carry no ts
+        }
+        let pid = e["pid"].as_i64().expect("pid");
+        let tid = e["tid"].as_i64().expect("tid");
+        let ts = e["ts"].as_f64().expect("ts");
+        if let Some(prev) = last_ts.insert((pid, tid), ts) {
+            assert!(
+                ts >= prev,
+                "ts regressed on track (pid {pid}, tid {tid}): {prev} -> {ts}"
+            );
+        }
+        if ph == "X" {
+            assert!(e["dur"].as_f64().expect("dur") >= 0.0);
+            complete_spans += 1;
+        }
+    }
+    assert!(complete_spans > 0, "no tile spans exported");
+}
+
+/// Acceptance: a multi-thread, multi-rank LCS at `Full` records a
+/// start/done span for *every* executed tile and exposes a busy fraction
+/// for every worker.
+#[test]
+fn full_trace_covers_every_executed_tile_with_busy_fractions() {
+    let (problem, program) = lcs_fixture();
+    let out = program
+        .runner::<i64>(&problem.params())
+        .threads(4)
+        .ranks(2)
+        .trace(TraceLevel::Full)
+        .probe(Probe::at(&problem.goal()))
+        .run(&problem)
+        .unwrap();
+    assert_eq!(out.probes[0], Some(problem.solve_dense()));
+
+    let timeline = out.timeline.as_ref().expect("Full must build a timeline");
+    let executed: u64 = out.per_rank.iter().map(|r| r.stats.tiles_executed).sum();
+    assert!(executed > 0);
+    assert_eq!(
+        timeline.spans.len() as u64,
+        executed,
+        "every executed tile needs exactly one TileStart/TileDone span"
+    );
+    let span_tiles: HashSet<String> = timeline.spans.iter().map(|s| s.tile.to_string()).collect();
+    assert_eq!(
+        span_tiles.len() as u64,
+        executed,
+        "spans must be distinct tiles"
+    );
+    assert_eq!(
+        timeline.dropped_events, 0,
+        "default rings must not wrap here"
+    );
+    assert_eq!(out.metrics.counter("trace.spans"), Some(executed));
+
+    for rank in 0..2 {
+        for worker in 0..4 {
+            let key = format!("rank{rank}.worker{worker}.busy_fraction");
+            let busy = out.metrics.gauge(&key).expect("busy fraction gauge");
+            assert!((0.0..=1.0).contains(&busy), "{key} = {busy}");
+        }
+    }
+    // The text summary mentions every rank.
+    let summary = timeline.text_summary();
+    assert!(summary.contains("rank 0"), "{summary}");
+    assert!(summary.contains("rank 1"), "{summary}");
+}
+
+/// The deprecated entry points are delegating shims: across a thread
+/// matrix, shared and hybrid legacy calls must be *bit*-identical to the
+/// RunBuilder, f64 included.
+#[test]
+#[allow(deprecated)]
+fn builder_matches_legacy_shims_bit_identically() {
+    let n = 10i64;
+    let problem = Bandit2::default();
+    let kernel = problem.kernel();
+    let program = Bandit2::program(4).unwrap();
+    let probe = Probe::at(&[0, 0, 0, 0]);
+    for threads in [1usize, 2, 4] {
+        let legacy = program.run_shared::<f64, _>(&[n], &kernel, &probe, threads);
+        let new = program
+            .runner::<f64>(&[n])
+            .threads(threads)
+            .probe(probe.clone())
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(
+            legacy.probes[0].unwrap().to_bits(),
+            new.probes[0].unwrap().to_bits(),
+            "shared, {threads} threads"
+        );
+
+        let legacy = program.run_hybrid::<f64, _>(&[n], &kernel, &probe, 2, threads);
+        let new = program
+            .runner::<f64>(&[n])
+            .ranks(2)
+            .threads(threads)
+            .probe(probe.clone())
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(
+            legacy.probes[0].unwrap().to_bits(),
+            new.probes[0].unwrap().to_bits(),
+            "hybrid 2x{threads}"
+        );
+    }
+}

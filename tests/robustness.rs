@@ -3,8 +3,7 @@
 //! a wire that drops, duplicates, reorders and corrupts packets, which must
 //! be bit-identical to fault-free runs or fail with a typed diagnosis.
 
-use dpgen::core::driver::HybridConfig;
-use dpgen::core::{BalanceMethod, Program, ProgramError};
+use dpgen::core::{BalanceMethod, Program, ProgramError, RunBuilder};
 use dpgen::mpisim::{CommConfig, FaultPlan, ReliabilityConfig};
 use dpgen::problems::{random_sequence, EditDistance, Lcs};
 use dpgen::runtime::{
@@ -66,16 +65,26 @@ fn error_messages_are_informative() {
 fn zero_size_problem_runs() {
     // N = 0: a single cell at the origin.
     let program = Program::parse(TRIANGLE).unwrap();
-    let res = program.run_shared::<u64, _>(&[0], &count_kernel, &Probe::at(&[0, 0]), 4);
+    let res = program
+        .runner::<u64>(&[0])
+        .threads(4)
+        .probe(Probe::at(&[0, 0]))
+        .run(&count_kernel)
+        .unwrap();
     assert_eq!(res.probes[0], Some(2)); // both deps invalid -> 1 + 1
-    assert_eq!(res.stats.cells_computed, 1);
+    assert_eq!(res.per_rank[0].stats.cells_computed, 1);
 }
 
 #[test]
 fn probes_outside_space_are_none_not_panics() {
     let program = Program::parse(TRIANGLE).unwrap();
     let probe = Probe::many(&[&[0, 0], &[100, 100], &[-3, 0], &[3, 3]]);
-    let res = program.run_shared::<u64, _>(&[4], &count_kernel, &probe, 2);
+    let res = program
+        .runner::<u64>(&[4])
+        .threads(2)
+        .probe(probe)
+        .run(&count_kernel)
+        .unwrap();
     assert!(res.probes[0].is_some());
     assert_eq!(res.probes[1], None);
     assert_eq!(res.probes[2], None);
@@ -85,18 +94,31 @@ fn probes_outside_space_are_none_not_panics() {
 #[test]
 fn giant_tile_is_a_single_tile_run() {
     let program = Program::parse(&TRIANGLE.replace("widths 4 4", "widths 1000 1000")).unwrap();
-    let res = program.run_shared::<u64, _>(&[20], &count_kernel, &Probe::at(&[0, 0]), 4);
-    assert_eq!(res.stats.tiles_executed, 1);
+    let res = program
+        .runner::<u64>(&[20])
+        .threads(4)
+        .probe(Probe::at(&[0, 0]))
+        .run(&count_kernel)
+        .unwrap();
+    assert_eq!(res.per_rank[0].stats.tiles_executed, 1);
     assert_eq!(res.probes[0], Some(1 << 21));
-    assert_eq!(res.stats.edges_local, 0);
+    assert_eq!(res.per_rank[0].stats.edges_local, 0);
 }
 
 #[test]
 fn width_one_tiles_are_cells() {
     let program = Program::parse(&TRIANGLE.replace("widths 4 4", "widths 1 1")).unwrap();
     let n = 6i64;
-    let res = program.run_shared::<u64, _>(&[n], &count_kernel, &Probe::at(&[0, 0]), 3);
-    assert_eq!(res.stats.tiles_executed, ((n + 1) * (n + 2) / 2) as u64);
+    let res = program
+        .runner::<u64>(&[n])
+        .threads(3)
+        .probe(Probe::at(&[0, 0]))
+        .run(&count_kernel)
+        .unwrap();
+    assert_eq!(
+        res.per_rank[0].stats.tiles_executed,
+        ((n + 1) * (n + 2) / 2) as u64
+    );
     assert_eq!(res.probes[0], Some(1 << (n + 1)));
 }
 
@@ -104,16 +126,26 @@ fn width_one_tiles_are_cells() {
 fn oversubscribed_threads_work() {
     // Far more threads than tiles.
     let program = Program::parse(TRIANGLE).unwrap();
-    let res = program.run_shared::<u64, _>(&[6], &count_kernel, &Probe::at(&[0, 0]), 32);
+    let res = program
+        .runner::<u64>(&[6])
+        .threads(32)
+        .probe(Probe::at(&[0, 0]))
+        .run(&count_kernel)
+        .unwrap();
     assert_eq!(res.probes[0], Some(1 << 7));
 }
 
 #[test]
 fn zero_threads_clamps_to_one() {
     let program = Program::parse(TRIANGLE).unwrap();
-    let res = program.run_shared::<u64, _>(&[5], &count_kernel, &Probe::at(&[0, 0]), 0);
+    let res = program
+        .runner::<u64>(&[5])
+        .threads(0)
+        .probe(Probe::at(&[0, 0]))
+        .run(&count_kernel)
+        .unwrap();
     assert_eq!(res.probes[0], Some(1 << 6));
-    assert_eq!(res.stats.threads, 1);
+    assert_eq!(res.per_rank[0].stats.threads, 1);
 }
 
 #[test]
@@ -123,8 +155,13 @@ fn hybrid_more_ranks_than_tiles() {
     let problem = EditDistance::new(&a, &b);
     let program = EditDistance::program(4).unwrap(); // few tiles
     let params = problem.params();
-    let res =
-        program.run_hybrid::<i64, _>(&params, &problem, &Probe::at(&[params[0], params[1]]), 6, 2);
+    let res = program
+        .runner::<i64>(&params)
+        .ranks(6)
+        .threads(2)
+        .probe(Probe::at(&[params[0], params[1]]))
+        .run(&problem)
+        .unwrap();
     assert_eq!(res.probes[0].unwrap(), problem.solve_dense());
 }
 
@@ -140,14 +177,12 @@ fn degenerate_one_dimensional_problem() {
             1
         };
     };
-    let res = dpgen::runtime::run_shared::<u64, _>(
-        program.tiling(),
-        &[17],
-        &kernel,
-        &Probe::at(&[0]),
-        2,
-        TilePriority::Fifo,
-    );
+    let res = RunBuilder::<u64>::on_tiling(program.tiling(), &[17])
+        .threads(2)
+        .priority(TilePriority::Fifo)
+        .probe(Probe::at(&[0]))
+        .run(&kernel)
+        .unwrap();
     assert_eq!(res.probes[0], Some(18));
 }
 
@@ -163,17 +198,6 @@ fn faulty_comm(plan: FaultPlan) -> CommConfig {
             ..ReliabilityConfig::default()
         },
         faults: Some(plan),
-    }
-}
-
-fn hybrid_config(ranks: usize, comm: CommConfig) -> HybridConfig {
-    HybridConfig {
-        ranks,
-        threads_per_rank: 1,
-        priority: None,
-        comm,
-        balance: BalanceMethod::Slabs { lb_dims: vec![0] },
-        stall_timeout: Some(Duration::from_secs(20)),
     }
 }
 
@@ -219,24 +243,27 @@ fn seeded_fault_matrix_is_bit_identical() {
     ];
     for (name, plan) in plans {
         for ranks in [1usize, 2, 4] {
-            let config = hybrid_config(ranks, faulty_comm(plan));
             let res = lcs_program
-                .try_run_hybrid_with::<i64, _>(
-                    &lcs.params(),
-                    &lcs,
-                    &Probe::at(&lcs.goal()),
-                    &config,
-                )
+                .runner::<i64>(&lcs.params())
+                .ranks(ranks)
+                .threads(1)
+                .comm(faulty_comm(plan))
+                .balance(BalanceMethod::Slabs { lb_dims: vec![0] })
+                .stall_timeout(Some(Duration::from_secs(20)))
+                .probe(Probe::at(&lcs.goal()))
+                .run(&lcs)
                 .unwrap_or_else(|e| panic!("lcs {name} ranks={ranks}: {e}"));
             assert_eq!(res.probes[0], Some(lcs_want), "lcs {name} ranks={ranks}");
 
             let res = ed_program
-                .try_run_hybrid_with::<i64, _>(
-                    &ed.params(),
-                    &ed,
-                    &Probe::at(&[ed.params()[0], ed.params()[1]]),
-                    &config,
-                )
+                .runner::<i64>(&ed.params())
+                .ranks(ranks)
+                .threads(1)
+                .comm(faulty_comm(plan))
+                .balance(BalanceMethod::Slabs { lb_dims: vec![0] })
+                .stall_timeout(Some(Duration::from_secs(20)))
+                .probe(Probe::at(&[ed.params()[0], ed.params()[1]]))
+                .run(&ed)
                 .unwrap_or_else(|e| panic!("editdist {name} ranks={ranks}: {e}"));
             assert_eq!(
                 res.probes[0],
@@ -269,11 +296,11 @@ fn wedged_run_terminates_with_stall_snapshot() {
     let b = random_sequence(15, 32);
     let problem = EditDistance::new(&a, &b);
     let program = EditDistance::program(4).unwrap();
-    let config = HybridConfig {
-        ranks: 2,
-        threads_per_rank: 1,
-        priority: None,
-        comm: CommConfig {
+    let err = program
+        .runner::<i64>(&problem.params())
+        .ranks(2)
+        .threads(1)
+        .comm(CommConfig {
             // A window large enough that the sender never blocks: both
             // ranks end up waiting on traffic that can never arrive.
             send_buffers: 64,
@@ -285,12 +312,10 @@ fn wedged_run_terminates_with_stall_snapshot() {
                 send_timeout: Some(Duration::from_secs(5)),
             },
             faults: Some(FaultPlan::drops(99, 1.0)),
-        },
-        balance: BalanceMethod::Slabs { lb_dims: vec![0] },
-        stall_timeout: Some(Duration::from_millis(400)),
-    };
-    let err = program
-        .try_run_hybrid_with::<i64, _>(&problem.params(), &problem, &Probe::default(), &config)
+        })
+        .balance(BalanceMethod::Slabs { lb_dims: vec![0] })
+        .stall_timeout(Some(Duration::from_millis(400)))
+        .run(&problem)
         .unwrap_err();
     match &err {
         RunError::Stalled(snap) => {
@@ -324,7 +349,7 @@ fn mispartitioned_null_transport_is_a_typed_error() {
         &[16],
         &count_kernel,
         &SplitOwner,
-        &NullTransport,
+        &NullTransport::default(),
         &Probe::default(),
         &config,
     )
@@ -352,15 +377,13 @@ fn hybrid_kernel_panic_quarantines_the_tile() {
             self.0.compute(cell, values);
         }
     }
-    let mut config = hybrid_config(2, CommConfig::default());
-    config.stall_timeout = Some(Duration::from_secs(10));
     let err = program
-        .try_run_hybrid_with::<i64, _>(
-            &problem.params(),
-            &Bomb(problem.clone()),
-            &Probe::default(),
-            &config,
-        )
+        .runner::<i64>(&problem.params())
+        .ranks(2)
+        .threads(1)
+        .balance(BalanceMethod::Slabs { lb_dims: vec![0] })
+        .stall_timeout(Some(Duration::from_secs(10)))
+        .run(&Bomb(problem.clone()))
         .unwrap_err();
     match &err {
         RunError::KernelPanic { tile, message, .. } => {
@@ -395,14 +418,15 @@ proptest! {
         let problem = EditDistance::new(&a, &b);
         let program = EditDistance::program(3).unwrap();
         let plan = FaultPlan { seed, drop, duplicate, reorder, corrupt, max_delay };
-        let config = hybrid_config(ranks, faulty_comm(plan));
         let res = program
-            .try_run_hybrid_with::<i64, _>(
-                &problem.params(),
-                &problem,
-                &Probe::at(&[problem.params()[0], problem.params()[1]]),
-                &config,
-            )
+            .runner::<i64>(&problem.params())
+            .ranks(ranks)
+            .threads(1)
+            .comm(faulty_comm(plan))
+            .balance(BalanceMethod::Slabs { lb_dims: vec![0] })
+            .stall_timeout(Some(Duration::from_secs(20)))
+            .probe(Probe::at(&[problem.params()[0], problem.params()[1]]))
+            .run(&problem)
             .unwrap();
         prop_assert_eq!(res.probes[0], Some(problem.solve_dense()));
     }
@@ -417,14 +441,12 @@ fn empty_iteration_space_for_parameters() {
     let kernel = |cell: CellRef<'_>, values: &mut [u64]| {
         values[cell.loc] = cell.x[0] as u64;
     };
-    let res = dpgen::runtime::run_shared::<u64, _>(
-        program.tiling(),
-        &[1],
-        &kernel,
-        &Probe::at(&[2]),
-        2,
-        TilePriority::Fifo,
-    );
-    assert_eq!(res.stats.tiles_executed, 0);
+    let res = RunBuilder::<u64>::on_tiling(program.tiling(), &[1])
+        .threads(2)
+        .priority(TilePriority::Fifo)
+        .probe(Probe::at(&[2]))
+        .run(&kernel)
+        .unwrap();
+    assert_eq!(res.per_rank[0].stats.tiles_executed, 0);
     assert_eq!(res.probes[0], None);
 }

@@ -10,9 +10,10 @@
 //! plus the `RunStats` contention-counter regression tests for the real
 //! multi-threaded runtime.
 
+use dpgen::core::RunBuilder;
 use dpgen::polyhedra::{ConstraintSystem, Space};
 use dpgen::runtime::sharded::{EdgeDelivery, ShardedScheduler};
-use dpgen::runtime::{run_shared, MemoryStats, Probe, TilePriority};
+use dpgen::runtime::{MemoryStats, Probe, TilePriority};
 use dpgen::tiling::tiling::CellRef;
 use dpgen::tiling::{Coord, Template, TemplateSet, Tiling, TilingBuilder};
 use proptest::prelude::*;
@@ -149,15 +150,18 @@ proptest! {
         threads in 1usize..6,
     ) {
         let Some(tiling) = build_tiling(Some((1, 1, 2)), (w, w)) else { return Ok(()) };
-        let res = run_shared::<i64, _>(
-            &tiling, &[n], &path_kernel, &Probe::at(&[0, 0]), threads,
-            TilePriority::LevelSet,
-        );
-        prop_assert_eq!(res.stats.cells_computed as u128, tiling.total_cells(&[n]));
-        prop_assert_eq!(res.stats.tiles_per_worker.len(), threads);
-        let per_worker: u64 = res.stats.tiles_per_worker.iter().sum();
-        prop_assert_eq!(per_worker, res.stats.tiles_executed);
-        prop_assert!(res.stats.peak_pending_tiles >= 0);
+        let res = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+            .threads(threads)
+            .priority(TilePriority::LevelSet)
+            .probe(Probe::at(&[0, 0]))
+            .run(&path_kernel)
+            .unwrap();
+        let stats = &res.per_rank[0].stats;
+        prop_assert_eq!(stats.cells_computed as u128, tiling.total_cells(&[n]));
+        prop_assert_eq!(stats.tiles_per_worker.len(), threads);
+        let per_worker: u64 = stats.tiles_per_worker.iter().sum();
+        prop_assert_eq!(per_worker, stats.tiles_executed);
+        prop_assert!(stats.peak_pending_tiles >= 0);
     }
 }
 
@@ -206,43 +210,41 @@ fn run_stats_contention_counters_populated() {
     let n = 30i64;
 
     // Single worker: a full histogram, but no stealing possible.
-    let serial = run_shared::<i64, _>(
-        &tiling,
-        &[n],
-        &path_kernel,
-        &Probe::at(&[0, 0]),
-        1,
-        TilePriority::column_major(2),
-    );
-    assert!(serial.stats.tiles_executed > 0);
-    assert_eq!(serial.stats.steal_count, 0);
-    assert_eq!(serial.stats.steal_fail_count, 0);
+    let serial = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+        .threads(1)
+        .priority(TilePriority::column_major(2))
+        .probe(Probe::at(&[0, 0]))
+        .run(&path_kernel)
+        .unwrap();
+    let serial_stats = &serial.per_rank[0].stats;
+    assert!(serial_stats.tiles_executed > 0);
+    assert_eq!(serial_stats.steal_count, 0);
+    assert_eq!(serial_stats.steal_fail_count, 0);
     assert_eq!(
-        serial.stats.tiles_per_worker,
-        vec![serial.stats.tiles_executed]
+        serial_stats.tiles_per_worker,
+        vec![serial_stats.tiles_executed]
     );
 
     // Four workers: histogram sums to the tile count, steal counters are
     // bounded by it, and summed wait times fit inside workers x wall time.
-    let par = run_shared::<i64, _>(
-        &tiling,
-        &[n],
-        &path_kernel,
-        &Probe::at(&[0, 0]),
-        4,
-        TilePriority::column_major(2),
-    );
-    assert_eq!(par.stats.threads, 4);
-    assert_eq!(par.stats.tiles_per_worker.len(), 4);
+    let par = RunBuilder::<i64>::on_tiling(&tiling, &[n])
+        .threads(4)
+        .priority(TilePriority::column_major(2))
+        .probe(Probe::at(&[0, 0]))
+        .run(&path_kernel)
+        .unwrap();
+    let par_stats = &par.per_rank[0].stats;
+    assert_eq!(par_stats.threads, 4);
+    assert_eq!(par_stats.tiles_per_worker.len(), 4);
     assert_eq!(
-        par.stats.tiles_per_worker.iter().sum::<u64>(),
-        par.stats.tiles_executed
+        par_stats.tiles_per_worker.iter().sum::<u64>(),
+        par_stats.tiles_executed
     );
-    assert_eq!(par.stats.tiles_executed, serial.stats.tiles_executed);
-    assert!(par.stats.steal_count <= par.stats.tiles_executed);
-    assert!(par.stats.idle_time <= par.stats.total_time * 4);
-    assert!(par.stats.lock_wait_time <= par.stats.total_time * 4);
-    assert!(par.stats.worker_imbalance() >= 1.0);
+    assert_eq!(par_stats.tiles_executed, serial_stats.tiles_executed);
+    assert!(par_stats.steal_count <= par_stats.tiles_executed);
+    assert!(par_stats.idle_time <= par_stats.total_time * 4);
+    assert!(par_stats.lock_wait_time <= par_stats.total_time * 4);
+    assert!(par_stats.worker_imbalance() >= 1.0);
     // Results identical regardless of worker count.
     assert_eq!(par.probes, serial.probes);
 }
