@@ -19,6 +19,8 @@
 //!   face/edge/corner systems (Section IV-K),
 //! * [`driver`] — the hybrid "OpenMP + MPI" driver: one simulated rank per
 //!   node, each with a worker pool,
+//! * [`specgen`] — seeded random-spec generation and the naive reference
+//!   interpreter behind the differential fuzzer (`dpgen-fuzz`),
 //! * [`traceback`] — solution recovery by tile recomputation (the
 //!   Section VII-A future-work feature).
 
@@ -28,6 +30,7 @@ pub mod loadbalance;
 pub mod program;
 pub mod run;
 pub mod spec;
+pub mod specgen;
 pub mod traceback;
 
 #[allow(deprecated)]
@@ -37,3 +40,4 @@ pub use loadbalance::{BalanceMethod, LoadBalance, MapOwner};
 pub use program::{Program, ProgramError};
 pub use run::{RunBuilder, RunOutput};
 pub use spec::{ProblemSpec, SpecError};
+pub use specgen::{GeneratedSpec, SpecGen};

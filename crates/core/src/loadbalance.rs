@@ -17,6 +17,20 @@ use dpgen_runtime::TileOwner;
 use dpgen_tiling::{Coord, Direction, Tiling};
 use std::collections::HashMap;
 
+/// Attach the tiling's geometry to an interpolation failure. A bare
+/// "inconsistent samples" is undiagnosable when the tiling came out of a
+/// fuzzer; the dims/widths (and slab, if any) are what reproduce it.
+fn interpolation_context(err: PolyError, what: &str, tiling: &Tiling, detail: &str) -> PolyError {
+    match err {
+        PolyError::Interpolation(m) => PolyError::Interpolation(format!(
+            "{what} for tiling with dims = {}, widths = {:?}{detail}: {m}",
+            tiling.dims(),
+            tiling.widths(),
+        )),
+        other => other,
+    }
+}
+
 /// Reconstruct the paper's *first* counting polynomial: the total amount of
 /// work as a function of the (single) input parameter (Section IV-J; the
 /// paper computes it with the Barvinok library, we interpolate it from
@@ -30,12 +44,15 @@ pub fn work_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyError> {
     let params = tiling.original().space().param_indices();
     if params.len() != 1 {
         return Err(PolyError::Interpolation(format!(
-            "work polynomial needs exactly 1 parameter, problem has {}",
-            params.len()
+            "work polynomial needs exactly 1 parameter, problem has {} (tiling dims = {}, widths = {:?})",
+            params.len(),
+            tiling.dims(),
+            tiling.widths(),
         )));
     }
     let d = tiling.dims();
     QuasiPolynomial::interpolate(d, 1, 0, 2, |n| tiling.total_cells(&[n as i64]) as i128)
+        .map_err(|e| interpolation_context(e, "work polynomial", tiling, ""))
 }
 
 /// The paper's *second* counting polynomial family: work restricted to a
@@ -51,9 +68,11 @@ pub fn slab_work_polynomial(
 ) -> Result<QuasiPolynomial, PolyError> {
     let params = tiling.original().space().param_indices();
     if params.len() != 1 {
-        return Err(PolyError::Interpolation(
-            "slab work polynomial needs exactly 1 parameter".into(),
-        ));
+        return Err(PolyError::Interpolation(format!(
+            "slab work polynomial needs exactly 1 parameter (tiling dims = {}, widths = {:?}, lb_dim = {lb_dim}, slab = {slab})",
+            tiling.dims(),
+            tiling.widths(),
+        )));
     }
     let d = tiling.dims();
     let w = tiling.widths()[lb_dim] as usize;
@@ -62,6 +81,14 @@ pub fn slab_work_polynomial(
     let start = (slab + 1) * tiling.widths()[lb_dim];
     QuasiPolynomial::interpolate(d, w.max(1), start.max(0) as i128, 1, |n| {
         slab_work(tiling, lb_dim, slab, n as i64) as i128
+    })
+    .map_err(|e| {
+        interpolation_context(
+            e,
+            "slab work polynomial",
+            tiling,
+            &format!(", lb_dim = {lb_dim}, slab = {slab}"),
+        )
     })
 }
 
@@ -73,9 +100,11 @@ pub fn slab_work_polynomial(
 pub fn tile_count_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyError> {
     let params = tiling.original().space().param_indices();
     if params.len() != 1 {
-        return Err(PolyError::Interpolation(
-            "tile-count polynomial needs exactly 1 parameter".into(),
-        ));
+        return Err(PolyError::Interpolation(format!(
+            "tile-count polynomial needs exactly 1 parameter (tiling dims = {}, widths = {:?})",
+            tiling.dims(),
+            tiling.widths(),
+        )));
     }
     let d = tiling.dims();
     let period = tiling.widths().iter().fold(1i64, |acc, &w| {
@@ -87,6 +116,7 @@ pub fn tile_count_polynomial(tiling: &Tiling) -> Result<QuasiPolynomial, PolyErr
         tiling.for_each_tile(&mut point, |_| count += 1);
         count
     })
+    .map_err(|e| interpolation_context(e, "tile-count polynomial", tiling, ""))
 }
 
 /// Exact work (cell count) of all tiles with `t[lb_dim] == slab`.
@@ -490,6 +520,46 @@ mod tests {
         let t = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
         let tiling = TilingBuilder::new(sys, t, vec![2]).build().unwrap();
         assert!(work_polynomial(&tiling).is_err());
+    }
+
+    #[test]
+    fn work_polynomial_error_names_dims_and_widths() {
+        // floor(N/2)+1 cells: period 2, so the period-1 work polynomial
+        // cannot verify — the failure must carry the tiling geometry.
+        let space = Space::from_names(&["x"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("x >= 0").unwrap();
+        sys.add_text("2*x <= N").unwrap();
+        let t = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
+        let tiling = TilingBuilder::new(sys, t, vec![3]).build().unwrap();
+        let err = work_polynomial(&tiling).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("dims = 1") && msg.contains("widths = [3]"),
+            "message must carry tiling geometry: {msg}"
+        );
+    }
+
+    #[test]
+    fn two_param_errors_name_dims_and_widths() {
+        let space = Space::from_names(&["x"], &["A", "B"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= A").unwrap();
+        sys.add_text("x <= B").unwrap();
+        let t = TemplateSet::new(1, vec![Template::new("r", &[1])]).unwrap();
+        let tiling = TilingBuilder::new(sys, t, vec![2]).build().unwrap();
+        for msg in [
+            work_polynomial(&tiling).unwrap_err().to_string(),
+            slab_work_polynomial(&tiling, 0, 1).unwrap_err().to_string(),
+            tile_count_polynomial(&tiling).unwrap_err().to_string(),
+        ] {
+            assert!(
+                msg.contains("dims = 1") && msg.contains("widths = [2]"),
+                "message must carry tiling geometry: {msg}"
+            );
+        }
+        let slab_msg = slab_work_polynomial(&tiling, 0, 1).unwrap_err().to_string();
+        assert!(slab_msg.contains("lb_dim = 0") && slab_msg.contains("slab = 1"));
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! The differential spec-fuzzing harness.
+//!
+//! Each generated spec ([`dpgen_core::specgen`]) is run through the full
+//! pipeline — FM bounds → tiling → edge layouts → sharded runtime — across
+//! a {1, 2, 4}-thread × {1, 2}-rank matrix, fault-free and under a seeded
+//! [`FaultPlan`], and **every cell value** is compared bit-identically
+//! against the naive reference interpreter. Any disagreement, run error,
+//! or cell-count mismatch is a [`Failure`]; failures auto-shrink
+//! ([`shrink`]) by dropping constraints/templates, halving widths and the
+//! parameter, and clearing the ordering knobs, keeping the smallest spec
+//! that still fails. Minimized specs serialize into `tests/corpus/` where
+//! `tests/fuzz_regressions.rs` replays them forever after.
+
+use dpgen_core::specgen::{self, GeneratedSpec};
+use dpgen_core::RunBuilder;
+use dpgen_mpisim::{CommConfig, FaultPlan, ReliabilityConfig};
+use dpgen_runtime::{Probe, RunError, SplitMix64, TilePriority};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One leg of the differential matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leg {
+    /// Worker threads per rank.
+    pub threads: usize,
+    /// Simulated MPI ranks.
+    pub ranks: usize,
+    /// Inject a seeded fault plan on the interconnect.
+    pub faulted: bool,
+    /// Use the seeded pseudo-random tile priority instead of the paper
+    /// default (sweeps legal schedules).
+    pub seeded_priority: bool,
+}
+
+impl fmt::Display for Leg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "threads={} ranks={}{}{}",
+            self.threads,
+            self.ranks,
+            if self.faulted { " faulted" } else { "" },
+            if self.seeded_priority {
+                " seeded-priority"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// The full matrix the acceptance criteria name: {1, 2, 4} threads ×
+/// {1, 2} ranks fault-free, plus multi-rank legs under injected faults
+/// and a seeded-priority leg to vary the schedule.
+pub fn full_matrix() -> Vec<Leg> {
+    let mut legs = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        for &ranks in &[1usize, 2] {
+            legs.push(Leg {
+                threads,
+                ranks,
+                faulted: false,
+                seeded_priority: false,
+            });
+        }
+    }
+    for &threads in &[2usize, 4] {
+        legs.push(Leg {
+            threads,
+            ranks: 2,
+            faulted: true,
+            seeded_priority: false,
+        });
+    }
+    legs.push(Leg {
+        threads: 2,
+        ranks: 1,
+        faulted: false,
+        seeded_priority: true,
+    });
+    legs
+}
+
+/// A differential failure: which spec, which leg, what went wrong.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Seed of the (possibly shrunk) failing spec.
+    pub seed: u64,
+    /// The matrix leg that disagreed (`None` = the spec failed before any
+    /// leg ran, e.g. the reference interpreter itself errored).
+    pub leg: Option<Leg>,
+    /// Human-readable mismatch or error description.
+    pub detail: String,
+    /// Formatted stall snapshot, when the leg died in the watchdog.
+    pub stall: Option<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec seed {:016x}", self.seed)?;
+        if let Some(leg) = &self.leg {
+            write!(f, " [{leg}]")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Communication config for faulted legs: small buffers and fast
+/// retransmits so injected drops resolve quickly (the robustness-test
+/// idiom), faults seeded from the spec's own seed.
+fn faulty_comm(seed: u64) -> CommConfig {
+    CommConfig {
+        send_buffers: 2,
+        recv_buffers: 2,
+        reliability: ReliabilityConfig {
+            ack_timeout: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            ..ReliabilityConfig::default()
+        },
+        faults: Some(FaultPlan::uniform(seed ^ 0xFA17_FA17, 0.1)),
+    }
+}
+
+/// Run one spec through every leg of the matrix, comparing all cell
+/// values bit-identically against the naive reference interpreter.
+pub fn check_spec(gs: &GeneratedSpec, legs: &[Leg]) -> Result<(), Failure> {
+    let fail = |leg: Option<Leg>, detail: String, stall: Option<String>| Failure {
+        seed: gs.seed,
+        leg,
+        detail,
+        stall,
+    };
+    let reference = specgen::reference_eval(&gs.spec, gs.param)
+        .map_err(|e| fail(None, format!("reference interpreter: {e}"), None))?;
+    let tiling = gs
+        .spec
+        .tiling()
+        .map_err(|e| fail(None, format!("tiling: {e}"), None))?;
+    let coords: Vec<&[i64]> = reference.points.iter().map(|p| p.as_slice()).collect();
+    let probe = Probe::many(&coords);
+    let kernel = specgen::fuzz_kernel(gs.spec.templates.len());
+    let lb_dims = gs.spec.load_balance_indices();
+    let params = [gs.param];
+
+    for &leg in legs {
+        let mut builder = RunBuilder::<u64>::on_tiling(&tiling, &params)
+            .threads(leg.threads)
+            .ranks(leg.ranks)
+            .lb_dims(lb_dims.clone())
+            .probe(probe.clone())
+            .stall_timeout(Some(Duration::from_secs(20)));
+        if leg.seeded_priority {
+            builder = builder.priority(TilePriority::seeded(tiling.dims(), gs.seed));
+        }
+        if leg.faulted {
+            builder = builder.comm(faulty_comm(gs.seed));
+        }
+        let out = match builder.run(&kernel) {
+            Ok(out) => out,
+            Err(e) => {
+                let stall = match &e {
+                    RunError::Stalled(snapshot) => Some(snapshot.to_string()),
+                    _ => None,
+                };
+                return Err(fail(Some(leg), format!("run error: {e}"), stall));
+            }
+        };
+        if out.cells_computed() as usize != reference.points.len() {
+            return Err(fail(
+                Some(leg),
+                format!(
+                    "cells computed {} != {} lattice points",
+                    out.cells_computed(),
+                    reference.points.len()
+                ),
+                None,
+            ));
+        }
+        for (p, got) in reference.points.iter().zip(&out.probes) {
+            let want = reference.values.get(p).copied();
+            if *got != want {
+                return Err(fail(
+                    Some(leg),
+                    format!("cell {p:?}: pipeline {got:?} != reference {want:?}"),
+                    None,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True when a shrink candidate is still a runnable problem (validates,
+/// tiles, and has a small nonempty iteration space).
+fn runnable(gs: &GeneratedSpec) -> bool {
+    gs.spec.validate().is_ok()
+        && gs.spec.tiling().is_ok()
+        && matches!(
+            specgen::lattice_points(&gs.spec, gs.param),
+            Ok(points) if !points.is_empty()
+        )
+}
+
+/// Size metric minimized by [`shrink`].
+fn complexity(gs: &GeneratedSpec) -> usize {
+    gs.spec.constraints.len()
+        + gs.spec.templates.len()
+        + gs.spec.order.len()
+        + gs.spec.load_balance.len()
+        + gs.spec.widths.iter().map(|&w| w as usize).sum::<usize>()
+        + gs.param as usize
+}
+
+/// All one-step shrink candidates of `gs`: drop one constraint, drop one
+/// template, halve one width, halve the parameter, clear the ordering,
+/// clear the load-balance dims. Candidates re-attach the fuzz code so the
+/// kernel arity tracks the template count.
+fn candidates(gs: &GeneratedSpec) -> Vec<GeneratedSpec> {
+    let mut out = Vec::new();
+    let mut push = |spec: dpgen_core::ProblemSpec, param: i64| {
+        let mut spec = spec;
+        specgen::attach_fuzz_code(&mut spec);
+        out.push(GeneratedSpec {
+            spec,
+            param,
+            seed: gs.seed,
+        });
+    };
+    for i in 0..gs.spec.constraints.len() {
+        let mut s = gs.spec.clone();
+        s.constraints.remove(i);
+        push(s, gs.param);
+    }
+    for j in 0..gs.spec.templates.len() {
+        let mut s = gs.spec.clone();
+        s.templates.remove(j);
+        push(s, gs.param);
+    }
+    for k in 0..gs.spec.widths.len() {
+        if gs.spec.widths[k] > 1 {
+            let mut s = gs.spec.clone();
+            s.widths[k] = (s.widths[k] / 2).max(1);
+            push(s, gs.param);
+        }
+    }
+    if gs.param > 1 {
+        push(gs.spec.clone(), gs.param / 2);
+    }
+    if !gs.spec.order.is_empty() {
+        let mut s = gs.spec.clone();
+        s.order.clear();
+        push(s, gs.param);
+    }
+    if !gs.spec.load_balance.is_empty() {
+        let mut s = gs.spec.clone();
+        s.load_balance.clear();
+        push(s, gs.param);
+    }
+    out
+}
+
+/// Greedily minimize a failing spec: repeatedly take any one-step
+/// candidate that is still runnable and still fails, until none improves
+/// (or an iteration cap is hit). Returns the smallest failing spec found
+/// and its failure.
+pub fn shrink(gs: &GeneratedSpec, legs: &[Leg], failure: Failure) -> (GeneratedSpec, Failure) {
+    let mut best = gs.clone();
+    let mut best_failure = failure;
+    let mut iterations = 0usize;
+    'outer: loop {
+        if iterations >= 200 {
+            break;
+        }
+        for cand in candidates(&best) {
+            iterations += 1;
+            if !runnable(&cand) || complexity(&cand) >= complexity(&best) {
+                continue;
+            }
+            if let Err(f) = check_spec(&cand, legs) {
+                best = cand;
+                best_failure = f;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_failure)
+}
+
+/// Write a spec's JSON into `dir` as `<name>.json`, creating the
+/// directory if needed.
+pub fn save_spec(dir: &Path, gs: &GeneratedSpec) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", gs.spec.name));
+    std::fs::write(&path, specgen::to_json(gs))?;
+    Ok(path)
+}
+
+/// Load every `*.json` spec in `dir`, sorted by file name. Unparsable
+/// files are hard errors — a corrupt corpus must fail loudly.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, GeneratedSpec)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension().is_some_and(|x| x == "json")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let gs = specgen::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, gs));
+    }
+    Ok(out)
+}
+
+/// Derive a fuzzing seed the way the CI job does: `FUZZ_SEED` wins, then
+/// `GITHUB_RUN_ID` (so every CI run explores fresh seeds), then a fixed
+/// default for local runs.
+pub fn seed_from_env() -> u64 {
+    if let Ok(s) = std::env::var("FUZZ_SEED") {
+        if let Ok(v) = parse_seed(&s) {
+            return v;
+        }
+    }
+    if let Ok(s) = std::env::var("GITHUB_RUN_ID") {
+        if let Ok(v) = parse_seed(&s) {
+            // Decorrelate consecutive run ids into distant streams.
+            return SplitMix64::new(v).next_u64();
+        }
+    }
+    0x5EED_D1FF
+}
+
+/// Parse a decimal or `0x`-prefixed hex seed.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|e| format!("bad seed `{s}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpgen_core::SpecGen;
+
+    #[test]
+    fn matrix_covers_the_acceptance_grid() {
+        let legs = full_matrix();
+        for &threads in &[1usize, 2, 4] {
+            for &ranks in &[1usize, 2] {
+                assert!(
+                    legs.iter()
+                        .any(|l| l.threads == threads && l.ranks == ranks && !l.faulted),
+                    "missing fault-free leg {threads}x{ranks}"
+                );
+            }
+        }
+        assert!(legs.iter().any(|l| l.faulted && l.ranks > 1));
+        assert!(legs.iter().any(|l| l.seeded_priority));
+    }
+
+    #[test]
+    fn generated_specs_pass_a_reduced_matrix() {
+        // A quick in-tree smoke pass; the full budget runs in the CI
+        // spec-fuzz job and locally via `cargo run -p dpgen-fuzz`.
+        let legs = vec![
+            Leg {
+                threads: 2,
+                ranks: 1,
+                faulted: false,
+                seeded_priority: false,
+            },
+            Leg {
+                threads: 2,
+                ranks: 2,
+                faulted: false,
+                seeded_priority: false,
+            },
+        ];
+        let mut gen = SpecGen::new(0xFEED);
+        for _ in 0..6 {
+            let gs = gen.next_spec();
+            if let Err(f) = check_spec(&gs, &legs) {
+                panic!("differential failure: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reduces_an_artificial_failure() {
+        // Use an impossible leg-free failure predicate stand-in: shrink
+        // against a matrix where the "failure" is the spec having more
+        // than one constraint — here simulated by checking a real spec
+        // against real legs, then shrinking a synthetic failure whose
+        // check always passes (so shrink must return the original).
+        let mut gen = SpecGen::new(77);
+        let gs = gen.next_spec();
+        let legs = vec![Leg {
+            threads: 1,
+            ranks: 1,
+            faulted: false,
+            seeded_priority: false,
+        }];
+        let failure = Failure {
+            seed: gs.seed,
+            leg: None,
+            detail: "synthetic".into(),
+            stall: None,
+        };
+        let (shrunk, f) = shrink(&gs, &legs, failure);
+        // The spec passes its legs, so no candidate can "still fail":
+        // shrink keeps the original and the original failure.
+        assert_eq!(shrunk.spec, gs.spec);
+        assert_eq!(f.detail, "synthetic");
+    }
+
+    #[test]
+    fn seeds_parse_decimal_and_hex() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xff").unwrap(), 255);
+        assert!(parse_seed("nope").is_err());
+    }
+
+    #[test]
+    fn corpus_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("dpgen-fuzz-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut gen = SpecGen::new(5150);
+        let a = gen.next_spec();
+        let b = gen.next_spec();
+        save_spec(&dir, &a).unwrap();
+        save_spec(&dir, &b).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let mut names: Vec<&str> = loaded.iter().map(|(_, g)| g.spec.name.as_str()).collect();
+        names.sort_unstable();
+        let mut want = [a.spec.name.as_str(), b.spec.name.as_str()];
+        want.sort_unstable();
+        assert_eq!(names, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

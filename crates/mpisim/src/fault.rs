@@ -26,6 +26,7 @@
 use crate::stats::CommStats;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use dpgen_runtime::rng::SplitMix64;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -93,38 +94,9 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64: tiny, fast, and good enough to decorrelate per-link fault
-/// schedules. (Vigna, 2015 — public domain reference constants.)
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)`.
-    pub(crate) fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Uniform in `[0, bound)`; `bound` must be nonzero.
-    pub(crate) fn next_below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound
-    }
-}
-
 /// Derive the per-link seed from the plan seed and the directed pair.
+/// (The schedule stream is the shared [`SplitMix64`] from `dpgen-runtime`,
+/// bit-identical to the private generator this module used to carry.)
 fn link_seed(plan_seed: u64, src: usize, dst: usize) -> u64 {
     let mut mix = SplitMix64::new(
         plan_seed ^ (src as u64).wrapping_mul(0x9E37_79B9) ^ (dst as u64).rotate_left(32),

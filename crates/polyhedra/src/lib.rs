@@ -14,6 +14,8 @@
 //! * [`LoopNest`] — loop-bound synthesis: perfectly nested loops whose bounds
 //!   are `max`/`min` of affine ceil/floor divisions (Figure 3 of the paper),
 //! * [`count`] — exact lattice-point counting by recursive descent,
+//! * [`probe`] — emptiness/boundedness classification and bounding boxes
+//!   at concrete parameter values (the spec fuzzer's admission check),
 //! * [`ehrhart`] — Ehrhart quasi-polynomial reconstruction by interpolation,
 //!   our substitute for the Barvinok library used by the paper (Section IV-J).
 //!
@@ -28,6 +30,7 @@ pub mod error;
 pub mod expr;
 pub mod fm;
 pub mod num;
+pub mod probe;
 pub mod rational;
 pub mod space;
 pub mod system;
@@ -38,6 +41,7 @@ pub use count::count_points;
 pub use ehrhart::QuasiPolynomial;
 pub use error::PolyError;
 pub use expr::LinExpr;
+pub use probe::{is_empty, probe_box, BoxProbe};
 pub use rational::Rational;
 pub use space::{Space, VarKind};
 pub use system::ConstraintSystem;

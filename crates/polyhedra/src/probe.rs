@@ -1,0 +1,192 @@
+//! Emptiness and boundedness probes over parameterised polytopes.
+//!
+//! The spec fuzzer generates random constraint systems and must answer two
+//! questions before handing one to the pipeline: *does it contain any
+//! integer points at all*, and *is it finite* for a concrete parameter
+//! assignment? Both reduce to per-variable Fourier–Motzkin projection
+//! ([`crate::fm`]): eliminate every other variable, then read the single
+//! remaining variable's concrete bounds at the assignment.
+//!
+//! Because FM over-approximates integer projection, the verdicts are
+//! conservative in exactly the safe direction:
+//!
+//! * [`BoxProbe::Empty`] is **sound** — if the projection is empty, the
+//!   original system has no integer points;
+//! * [`BoxProbe::Bounded`] yields a box that **contains** every integer
+//!   point of the system (it may also contain non-points, so consumers
+//!   still filter by [`ConstraintSystem::contains`]);
+//! * [`BoxProbe::Unbounded`] means some variable admits no finite bound in
+//!   at least one direction, so no finite enumeration exists.
+
+use crate::error::PolyError;
+use crate::fm;
+use crate::num;
+use crate::system::ConstraintSystem;
+
+/// Verdict of [`probe_box`] for one concrete parameter assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxProbe {
+    /// The system provably contains no integer points.
+    Empty,
+    /// Some variable is unbounded below or above: no finite enumeration.
+    Unbounded,
+    /// Inclusive per-variable ranges, indexed like the space's variables
+    /// (an over-approximating box around the true point set).
+    Bounded(Vec<(i128, i128)>),
+}
+
+/// Classify `sys` at the parameter assignment carried in `assignment`
+/// (variable entries are ignored; parameter entries must be set).
+pub fn probe_box(sys: &ConstraintSystem, assignment: &[i128]) -> Result<BoxProbe, PolyError> {
+    let vars = sys.space().var_indices();
+    let mut ranges = Vec::with_capacity(vars.len());
+    let mut unbounded = false;
+    for &v in &vars {
+        let others: Vec<usize> = vars.iter().copied().filter(|&u| u != v).collect();
+        let projected = fm::eliminate_all(sys, &others)?;
+        match single_var_bounds(&projected, v, assignment)? {
+            VarBounds::Empty => return Ok(BoxProbe::Empty),
+            VarBounds::Unbounded => unbounded = true,
+            VarBounds::Range(lo, hi) => ranges.push((lo, hi)),
+        }
+    }
+    if unbounded {
+        return Ok(BoxProbe::Unbounded);
+    }
+    Ok(BoxProbe::Bounded(ranges))
+}
+
+/// True when `sys` provably holds no integer points at the assignment.
+/// (`false` only promises the *projection* is nonempty.)
+pub fn is_empty(sys: &ConstraintSystem, assignment: &[i128]) -> Result<bool, PolyError> {
+    Ok(probe_box(sys, assignment)? == BoxProbe::Empty)
+}
+
+enum VarBounds {
+    Empty,
+    Unbounded,
+    Range(i128, i128),
+}
+
+/// Bounds of the single remaining variable `var` in a projected system,
+/// distinguishing "no points" from "no finite bound" (unlike
+/// [`fm::concrete_bounds`], which folds both into `None`).
+fn single_var_bounds(
+    sys: &ConstraintSystem,
+    var: usize,
+    assignment: &[i128],
+) -> Result<VarBounds, PolyError> {
+    let mut lb: Option<i128> = None;
+    let mut ub: Option<i128> = None;
+    let mut point = assignment.to_vec();
+    point[var] = 0;
+    for c in sys.constraints() {
+        let a = c.coeff(var);
+        let rest = c.expr().eval(&point)?;
+        if a > 0 {
+            let bound = num::ceil_div(-rest, a);
+            lb = Some(lb.map_or(bound, |cur| cur.max(bound)));
+        } else if a < 0 {
+            let bound = num::floor_div(rest, -a);
+            ub = Some(ub.map_or(bound, |cur| cur.min(bound)));
+        } else if rest < 0 {
+            return Ok(VarBounds::Empty);
+        }
+    }
+    match (lb, ub) {
+        (Some(l), Some(u)) if l <= u => Ok(VarBounds::Range(l, u)),
+        (Some(_), Some(_)) => Ok(VarBounds::Empty),
+        _ => Ok(VarBounds::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Space;
+
+    fn sys(vars: &[&str], params: &[&str], texts: &[&str]) -> ConstraintSystem {
+        let space = Space::from_names(vars, params).unwrap();
+        let mut s = ConstraintSystem::new(space);
+        for t in texts {
+            s.add_text(t).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn square_is_bounded() {
+        let s = sys(&["x", "y"], &["N"], &["0 <= x <= N", "0 <= y <= N"]);
+        let got = probe_box(&s, &[0, 0, 7]).unwrap();
+        assert_eq!(got, BoxProbe::Bounded(vec![(0, 7), (0, 7)]));
+    }
+
+    #[test]
+    fn contradiction_is_empty() {
+        let s = sys(&["x"], &[], &["x >= 5", "x <= 3"]);
+        assert_eq!(probe_box(&s, &[0]).unwrap(), BoxProbe::Empty);
+        assert!(is_empty(&s, &[0]).unwrap());
+    }
+
+    #[test]
+    fn cross_variable_contradiction_is_empty() {
+        // x <= y, y <= x - 1: empty although each var alone looks fine.
+        let s = sys(
+            &["x", "y"],
+            &[],
+            &["0 <= x <= 5", "0 <= y <= 5", "x <= y", "y <= x - 1"],
+        );
+        assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Empty);
+    }
+
+    #[test]
+    fn half_space_is_unbounded() {
+        let s = sys(&["x", "y"], &[], &["x >= 0", "0 <= y <= 3"]);
+        assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_var_is_unbounded() {
+        let s = sys(&["x", "y"], &[], &["0 <= x <= 3"]);
+        assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Unbounded);
+    }
+
+    #[test]
+    fn single_point_polytope() {
+        let s = sys(&["x", "y"], &[], &["x = 2", "y = 2"]);
+        assert_eq!(
+            probe_box(&s, &[0, 0]).unwrap(),
+            BoxProbe::Bounded(vec![(2, 2), (2, 2)])
+        );
+    }
+
+    #[test]
+    fn triangle_box_over_approximates() {
+        // x + y <= N simplex: box is [0,N]², a strict superset of the set.
+        let s = sys(&["x", "y"], &["N"], &["x >= 0", "y >= 0", "x + y <= N"]);
+        let got = probe_box(&s, &[0, 0, 4]).unwrap();
+        assert_eq!(got, BoxProbe::Bounded(vec![(0, 4), (0, 4)]));
+        assert!(
+            !s.contains(&[4, 4, 4]).unwrap(),
+            "box corner is not in the set"
+        );
+    }
+
+    #[test]
+    fn parameter_can_empty_the_set() {
+        let s = sys(&["x"], &["N"], &["0 <= x <= N"]);
+        assert_eq!(
+            probe_box(&s, &[0, 3]).unwrap(),
+            BoxProbe::Bounded(vec![(0, 3)])
+        );
+        assert_eq!(probe_box(&s, &[0, -1]).unwrap(), BoxProbe::Empty);
+    }
+
+    #[test]
+    fn empty_beats_unbounded() {
+        // y is unbounded, but the x constraints are contradictory: the set
+        // is empty, and Empty is the verdict regardless of scan order.
+        let s = sys(&["x", "y"], &[], &["x >= 5", "x <= 3", "y >= 0"]);
+        assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Empty);
+    }
+}

@@ -1,0 +1,140 @@
+//! Degenerate-geometry edge cases the spec fuzzer routinely produces:
+//! empty polytopes, single-point polytopes, and redundant constraint
+//! systems. Every path must return a graceful `Ok`/`PolyError` — never
+//! panic — because the generator leans on these as its admission filter.
+
+use dpgen_polyhedra::{
+    count_points, fm, probe_box, BoxProbe, ConstraintSystem, LoopNest, PolyError, Space,
+};
+
+fn sys(vars: &[&str], params: &[&str], texts: &[&str]) -> ConstraintSystem {
+    let space = Space::from_names(vars, params).unwrap();
+    let mut s = ConstraintSystem::new(space);
+    for t in texts {
+        s.add_text(t).unwrap();
+    }
+    s
+}
+
+#[test]
+fn empty_polytope_through_fm_and_count() {
+    let s = sys(&["x", "y"], &[], &["x >= 4", "x <= 2", "0 <= y <= 9"]);
+    // FM elimination must not panic and must propagate the contradiction.
+    let proj = fm::eliminate_all(&s, &[1, 0]).unwrap();
+    assert!(proj.is_trivially_infeasible());
+    // Counting an empty set is zero, not an error.
+    let mut point = [0i128, 0];
+    assert_eq!(count_points(&s, &mut point).unwrap(), 0);
+    assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Empty);
+}
+
+#[test]
+fn cross_constraint_empty_polytope_counts_zero() {
+    // Pairwise-feasible boxes with an infeasible diagonal band.
+    let s = sys(
+        &["x", "y"],
+        &[],
+        &["0 <= x <= 5", "0 <= y <= 5", "x - y >= 3", "y - x >= 3"],
+    );
+    let mut point = [0i128, 0];
+    assert_eq!(count_points(&s, &mut point).unwrap(), 0);
+    assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Empty);
+}
+
+#[test]
+fn single_point_polytope_counts_one() {
+    let s = sys(&["x", "y", "z"], &[], &["x = 3", "y = -1", "z = 0"]);
+    let mut point = [0i128, 0, 0];
+    assert_eq!(count_points(&s, &mut point).unwrap(), 1);
+    assert_eq!(
+        probe_box(&s, &[0, 0, 0]).unwrap(),
+        BoxProbe::Bounded(vec![(3, 3), (-1, -1), (0, 0)])
+    );
+    assert!(s.contains(&[3, -1, 0]).unwrap());
+    assert!(!s.contains(&[3, -1, 1]).unwrap());
+}
+
+#[test]
+fn parameterised_single_point_follows_the_parameter() {
+    let s = sys(&["x"], &["N"], &["N <= x <= N"]);
+    for n in [-3i128, 0, 11] {
+        let mut point = [0i128, n];
+        assert_eq!(count_points(&s, &mut point).unwrap(), 1, "N = {n}");
+        assert_eq!(
+            probe_box(&s, &[0, n]).unwrap(),
+            BoxProbe::Bounded(vec![(n, n)])
+        );
+    }
+}
+
+#[test]
+fn redundant_constraints_do_not_change_results() {
+    // The same box stated four different ways, plus implied inequalities.
+    let s = sys(
+        &["x", "y"],
+        &["N"],
+        &[
+            "0 <= x <= N",
+            "0 <= y <= N",
+            "x >= 0",     // duplicate
+            "2*x >= 0",   // scaled duplicate
+            "x + y >= 0", // implied by the box
+            "x <= N + 3", // dominated upper bound
+        ],
+    );
+    let mut point = [0i128, 0, 4];
+    assert_eq!(count_points(&s, &mut point).unwrap(), 25);
+    assert_eq!(
+        probe_box(&s, &[0, 0, 4]).unwrap(),
+        BoxProbe::Bounded(vec![(0, 4), (0, 4)])
+    );
+    // FM with heavy redundancy must still terminate on a clean projection.
+    let proj = fm::eliminate(&s, 1).unwrap();
+    assert!(proj.contains(&[4, 99, 4]).unwrap());
+    assert!(!proj.contains(&[5, 0, 4]).unwrap());
+}
+
+#[test]
+fn unbounded_variable_is_a_poly_error_not_a_panic() {
+    let s = sys(&["x", "y"], &[], &["x >= 0", "0 <= y <= 3"]);
+    let err = LoopNest::synthesize(&s, &[0, 1]).unwrap_err();
+    assert!(matches!(err, PolyError::Unbounded(_)), "got {err:?}");
+    // count_points goes through the same synthesis and must error, not hang.
+    let mut point = [0i128, 0];
+    assert!(matches!(
+        count_points(&s, &mut point),
+        Err(PolyError::Unbounded(_))
+    ));
+    assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Unbounded);
+}
+
+#[test]
+fn totally_unconstrained_system_probes_unbounded() {
+    let s = sys(&["x", "y"], &[], &[]);
+    assert_eq!(probe_box(&s, &[0, 0]).unwrap(), BoxProbe::Unbounded);
+    let mut point = [0i128, 0];
+    assert!(count_points(&s, &mut point).is_err());
+}
+
+#[test]
+fn eliminating_every_variable_leaves_parameter_facts() {
+    // Projecting all variables out of a simplex leaves only N >= 0.
+    let s = sys(&["x", "y"], &["N"], &["x >= 0", "y >= 0", "x + y <= N"]);
+    let proj = fm::eliminate_all(&s, &[0, 1]).unwrap();
+    assert!(proj
+        .constraints()
+        .iter()
+        .all(|c| c.coeff(0) == 0 && c.coeff(1) == 0));
+    assert!(proj.contains(&[0, 0, 0]).unwrap());
+    assert!(!proj.contains(&[0, 0, -1]).unwrap());
+}
+
+#[test]
+fn fm_on_empty_parameterised_fibre_is_graceful() {
+    // Feasible for N >= 0 only; probing at N = -2 must report Empty and
+    // counting must yield 0 without panicking.
+    let s = sys(&["x"], &["N"], &["0 <= x <= N"]);
+    assert_eq!(probe_box(&s, &[0, -2]).unwrap(), BoxProbe::Empty);
+    let mut point = [0i128, -2];
+    assert_eq!(count_points(&s, &mut point).unwrap(), 0);
+}

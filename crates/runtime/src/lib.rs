@@ -36,6 +36,7 @@ pub mod node;
 pub mod priority;
 pub mod reduce;
 pub mod reference;
+pub mod rng;
 pub mod scheduler;
 pub mod sharded;
 pub mod stats;
@@ -58,6 +59,7 @@ pub use node::{run_shared, run_shared_reduce, try_run_shared, try_run_shared_red
 pub use priority::TilePriority;
 pub use reduce::Reduction;
 pub use reference::{run_reference, ReferenceResult};
+pub use rng::SplitMix64;
 pub use scheduler::Scheduler;
 pub use sharded::{EdgeDelivery, ShardedScheduler};
 pub use stats::RunStats;

@@ -167,8 +167,10 @@ pub enum Metric {
     Counter(u64),
     /// A point-in-time or derived value (fractions, rates, peaks).
     Gauge(f64),
-    /// A distribution of samples.
-    Histogram(Histogram),
+    /// A distribution of samples (boxed: a `Histogram` is an order of
+    /// magnitude larger than the other variants, and most entries are
+    /// counters or gauges).
+    Histogram(Box<Histogram>),
 }
 
 /// A flat, sorted `name → metric` map unifying every subsystem's counters.
@@ -207,14 +209,16 @@ impl MetricsRegistry {
             _ => {
                 let mut h = Histogram::new();
                 h.observe(value);
-                self.entries.insert(name.to_string(), Metric::Histogram(h));
+                self.entries
+                    .insert(name.to_string(), Metric::Histogram(Box::new(h)));
             }
         }
     }
 
     /// Insert a prebuilt histogram (replacing any existing metric).
     pub fn set_histogram(&mut self, name: &str, h: Histogram) {
-        self.entries.insert(name.to_string(), Metric::Histogram(h));
+        self.entries
+            .insert(name.to_string(), Metric::Histogram(Box::new(h)));
     }
 
     /// Look up a metric by name.
@@ -241,7 +245,7 @@ impl MetricsRegistry {
     /// Histogram, or `None` if absent or not a histogram.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         match self.entries.get(name) {
-            Some(Metric::Histogram(h)) => Some(h),
+            Some(Metric::Histogram(h)) => Some(h.as_ref()),
             _ => None,
         }
     }
@@ -278,7 +282,7 @@ impl MetricsRegistry {
                 Metric::Gauge(g) => self.set_gauge(name, *g),
                 Metric::Histogram(h) => match self.entries.get_mut(name) {
                     Some(Metric::Histogram(mine)) => mine.merge(h),
-                    _ => self.set_histogram(name, h.clone()),
+                    _ => self.set_histogram(name, (**h).clone()),
                 },
             }
         }
