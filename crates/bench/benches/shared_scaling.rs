@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpgen_des::{simulate, SimConfig};
-use dpgen_problems::Bandit2;
-use dpgen_runtime::{Probe, SingleOwner};
+use dpgen_problems::{random_sequence, Bandit2, Lcs};
+use dpgen_runtime::{Probe, Schedule, SingleOwner};
 
 fn bench_shared(c: &mut Criterion) {
     let problem = Bandit2::default();
@@ -82,5 +82,82 @@ fn bench_shared(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_shared);
+/// Dynamic vs Static vs Mixed wavefront schedules on a slab-uniform LCS
+/// (1151-char strings, width 48: 1152 = 24 × 48, so the uniform-slab rule
+/// lets a requested `Static` stick). Same work, same results; the static
+/// runs skip the ready-heap and steal machinery entirely.
+fn bench_schedule_modes(c: &mut Criterion) {
+    let a = random_sequence(1151, 11);
+    let b = random_sequence(1151, 13);
+    let problem = Lcs::new(&[&a, &b]);
+    let program = Lcs::program(2, 48).unwrap();
+    let params = problem.params();
+    let probe = Probe::at(&problem.goal());
+
+    let mut group = c.benchmark_group("fig6_schedule_modes");
+    group.sample_size(10);
+    for (name, schedule) in [
+        ("dynamic", Schedule::Dynamic),
+        ("static", Schedule::Static),
+        ("mixed", Schedule::Mixed),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("lcs_4t", name),
+            &schedule,
+            |bch, &schedule| {
+                bch.iter(|| {
+                    program
+                        .runner::<i64>(&params)
+                        .threads(4)
+                        .schedule(schedule)
+                        .probe(probe.clone())
+                        .run(&problem)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    // Calibrated simulation of the same split: static dispatch overhead
+    // vs the full heap dispatch.
+    for (name, schedule) in [("dynamic", Schedule::Dynamic), ("static", Schedule::Static)] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_24t", name),
+            &schedule,
+            |bch, &schedule| {
+                let tiling = program.tiling();
+                let config = SimConfig::shared(24, 2).with_schedule(schedule);
+                bch.iter(|| simulate(tiling, &params, &SingleOwner, &config))
+            },
+        );
+    }
+    group.finish();
+
+    // Schedule-mode report: resolved mode, static/dynamic tile split, and
+    // steal counters per mode at 4 threads.
+    println!("fig6_schedule_modes/report (lcs 1151x1151, width 48, 4 threads)");
+    for schedule in [Schedule::Dynamic, Schedule::Static, Schedule::Mixed] {
+        let res = program
+            .runner::<i64>(&params)
+            .threads(4)
+            .schedule(schedule)
+            .probe(probe.clone())
+            .run(&problem)
+            .unwrap();
+        let s = &res.per_rank[0].stats;
+        println!(
+            "  requested={schedule}: resolved={} tiles={} static={} dynamic={} \
+             static_frac={:.3} steals={} steal_fails={} {:.2} Mcells/s",
+            s.schedule,
+            s.tiles_executed,
+            s.tiles_static,
+            s.tiles_dynamic,
+            s.static_fraction(),
+            s.steal_count,
+            s.steal_fail_count,
+            s.cells_per_sec() / 1e6,
+        );
+    }
+}
+
+criterion_group!(benches, bench_shared, bench_schedule_modes);
 criterion_main!(benches);

@@ -13,7 +13,7 @@ use dpgen_core::{Program, RunBuilder, RunOutput};
 use dpgen_des::{simulate, CostModel, SimConfig};
 use dpgen_mpisim::CommConfig;
 use dpgen_problems::{random_sequence, Bandit2, Bandit3, Lcs, Msa};
-use dpgen_runtime::{Probe, SingleOwner, TilePriority, Value};
+use dpgen_runtime::{Probe, Schedule, SingleOwner, TilePriority, Value};
 use dpgen_tiling::tiling::CellRef;
 use dpgen_tiling::Tiling;
 
@@ -221,6 +221,7 @@ pub fn e4_shared_scaling(quick: bool) -> Table {
                 priority: TilePriority::column_major(case.tiling.dims()),
                 cost: case.cost,
                 send_buffers: usize::MAX,
+                schedule: Schedule::Dynamic,
             };
             let sim = simulate(&case.tiling, &case.params, &SingleOwner, &config);
             table.row(vec![
@@ -344,6 +345,7 @@ pub fn e5_weak_scaling(quick: bool) -> Table {
             priority: TilePriority::paper_default(4, &[0, 1]),
             cost,
             send_buffers: usize::MAX,
+            schedule: Schedule::Dynamic,
         };
         let sim = simulate(tiling, &[n], &owner, &config);
         let throughput = sim.cells as f64 / sim.makespan;
@@ -404,6 +406,7 @@ pub fn e6_tile_size(quick: bool) -> Table {
                 priority: TilePriority::paper_default(6, &[0, 1]),
                 cost,
                 send_buffers: usize::MAX,
+                schedule: Schedule::Dynamic,
             };
             let sim = simulate(tiling, &[n], &owner, &config);
             table.row(vec![
@@ -461,6 +464,7 @@ pub fn e7_buffer_sweep(quick: bool) -> Table {
                 ..CostModel::default()
             },
             send_buffers: buffers,
+            schedule: Schedule::Dynamic,
         };
         simulate(tiling, &[n], &owner, &config)
     };
@@ -539,6 +543,7 @@ pub fn e8_lb_dims(quick: bool) -> Table {
             priority: TilePriority::paper_default(4, &lb_dims),
             cost,
             send_buffers: usize::MAX,
+            schedule: Schedule::Dynamic,
         };
         let sim = simulate(tiling, &[n], &owner, &config);
         table.row(vec![
@@ -662,6 +667,7 @@ pub fn e10_hyperplane(quick: bool) -> Table {
                     priority: TilePriority::paper_default(tiling.dims(), &lb_dims),
                     cost: CostModel::default(),
                     send_buffers: usize::MAX,
+                    schedule: Schedule::Dynamic,
                 };
                 let sim = simulate(tiling, &[n], &owner, &config);
                 table.row(vec![

@@ -20,7 +20,7 @@ use crate::loadbalance::{BalanceMethod, LoadBalance};
 use dpgen_mpisim::{CommConfig, CommStats, CommWorld, Wire};
 use dpgen_runtime::{
     run_node_reduce, Kernel, NodeConfig, NodeResult, Probe, RankTrace, Reduction, RunError,
-    TilePriority, Timeline, TraceConfig, Tracer, Value,
+    Schedule, TilePriority, Timeline, TraceConfig, Tracer, Value,
 };
 use dpgen_tiling::Tiling;
 use std::sync::atomic::AtomicBool;
@@ -37,6 +37,10 @@ pub struct HybridConfig {
     /// Tile priority; `None` uses the paper's default (Figure 5):
     /// column-major with the load-balancing dimensions first.
     pub priority: Option<TilePriority>,
+    /// Resolved tile scheduling mode, applied per rank over its owned
+    /// tiles (the `Static` uniform-slab fallback happens upstream in
+    /// `RunBuilder::schedule`).
+    pub schedule: Schedule,
     /// Send/receive buffer counts (Section VI-C tunables), reliability
     /// protocol knobs, and the optional fault-injection plan.
     pub comm: CommConfig,
@@ -57,6 +61,7 @@ impl HybridConfig {
             ranks,
             threads_per_rank,
             priority: None,
+            schedule: Schedule::Dynamic,
             comm: CommConfig::default(),
             balance: BalanceMethod::Slabs { lb_dims },
             stall_timeout: Some(dpgen_runtime::DEFAULT_STALL_TIMEOUT),
@@ -253,6 +258,7 @@ where
                 let node_config = NodeConfig {
                     threads: config.threads_per_rank,
                     priority,
+                    schedule: config.schedule,
                     rank: comm.rank(),
                     stall_timeout: config.stall_timeout,
                     cancel: Some(cancel),
@@ -404,11 +410,8 @@ mod tests {
         let config = HybridConfig {
             ranks: 3,
             threads_per_rank: 2,
-            priority: None,
-            comm: CommConfig::default(),
             balance: BalanceMethod::Hyperplane,
-            stall_timeout: Some(Duration::from_secs(30)),
-            trace: TraceConfig::default(),
+            ..HybridConfig::new(3, 2, vec![0])
         };
         let res = hybrid_run::<f64, _>(
             &tiling,
@@ -428,19 +431,12 @@ mod tests {
         let want = expected(n);
         let tiling = triangle(2);
         let config = HybridConfig {
-            ranks: 4,
-            threads_per_rank: 1,
-            priority: None,
             comm: CommConfig {
                 send_buffers: 1,
                 recv_buffers: 1,
                 ..CommConfig::default()
             },
-            balance: BalanceMethod::Slabs {
-                lb_dims: vec![0, 1],
-            },
-            stall_timeout: Some(Duration::from_secs(30)),
-            trace: TraceConfig::default(),
+            ..HybridConfig::new(4, 1, vec![0, 1])
         };
         let res = hybrid_run::<f64, _>(
             &tiling,

@@ -134,6 +134,36 @@ pub fn slab_work(tiling: &Tiling, lb_dim: usize, slab: i64, n: i64) -> u128 {
         .sum()
 }
 
+/// Whether the load model reports *uniform slabs* along `lb_dim`: every
+/// slab (the set of tiles sharing one index of that tile dimension)
+/// carries exactly the same work at these parameter values.
+///
+/// This is the decision input for `Schedule::Static` (see
+/// `core::RunBuilder::schedule`): a precomputed wavefront order only pays
+/// off when the per-slab Ehrhart counts are flat — a rectangular iteration
+/// space whose extents the tile widths divide exactly. Wedges, triangles,
+/// and ragged final slabs report `false` and keep the work-stealing
+/// scheduler, which absorbs the irregularity dynamically. The check is a
+/// perf heuristic only — correctness never depends on it (any polytope
+/// runs bit-identically under every schedule mode).
+///
+/// Zero or one slab is trivially uniform.
+pub fn slabs_uniform(tiling: &Tiling, params: &[i64], lb_dim: usize) -> bool {
+    assert!(lb_dim < tiling.dims(), "lb_dim {lb_dim} out of range");
+    let mut point = tiling.make_point(params);
+    let mut tiles: Vec<Coord> = Vec::new();
+    tiling.for_each_tile(&mut point, |t| tiles.push(t));
+    let mut works: HashMap<i64, u128> = HashMap::new();
+    for t in &tiles {
+        *works.entry(t[lb_dim]).or_insert(0) += tiling.tile_cell_count(t, &mut point);
+    }
+    let mut vals = works.values();
+    match vals.next() {
+        None => true,
+        Some(first) => vals.all(|w| w == first),
+    }
+}
+
 /// Which partitioning strategy to use.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BalanceMethod {
@@ -433,6 +463,38 @@ mod tests {
         );
         assert_eq!(lb.rank_work.len(), 1);
         assert!((lb.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_slabs_detected_on_exact_grids() {
+        // 16x16 cells in 4x4 tiles: every x-slab is 4 tile-columns of 64
+        // cells, along either dimension.
+        let tiling = grid("N", 4);
+        assert!(slabs_uniform(&tiling, &[15], 0));
+        assert!(slabs_uniform(&tiling, &[15], 1));
+    }
+
+    #[test]
+    fn single_slab_is_trivially_uniform() {
+        // The whole space fits in one tile along x: exactly one slab, which
+        // is uniform by definition even though the space is a triangle.
+        let tiling = triangle(30);
+        assert!(slabs_uniform(&tiling, &[20], 0));
+        // ... but big enough to span several slabs, the triangle's slab
+        // works shrink toward the hypotenuse.
+        let tiling = triangle(3);
+        assert!(!slabs_uniform(&tiling, &[20], 0));
+    }
+
+    #[test]
+    fn one_ragged_slab_breaks_uniformity() {
+        // 17x17 cells in 4x4 tiles: the last x-slab is a single column of
+        // cells, every other slab is four. One off-size slab must flip the
+        // decision to irregular.
+        let tiling = grid("N", 4);
+        assert!(!slabs_uniform(&tiling, &[16], 0));
+        // Restoring exact division restores uniformity.
+        assert!(slabs_uniform(&tiling, &[19], 0));
     }
 
     #[test]

@@ -39,12 +39,12 @@
 //! [`Timeline`].
 
 use crate::driver::{hybrid_run, HybridConfig};
-use crate::loadbalance::{BalanceMethod, LoadBalance};
+use crate::loadbalance::{slabs_uniform, BalanceMethod, LoadBalance};
 use dpgen_mpisim::{CommConfig, CommStats, ReliabilityConfig, Wire};
 use dpgen_runtime::{
     run_grouped, run_node_reduce, run_reference, Kernel, MetricsRegistry, NodeConfig, NodeResult,
-    NullTransport, Probe, Reduction, ReferenceResult, RunError, SingleOwner, TilePriority,
-    Timeline, TraceConfig, TraceLevel, Tracer, Value,
+    NullTransport, Probe, Reduction, ReferenceResult, RunError, Schedule, SingleOwner,
+    TilePriority, Timeline, TraceConfig, TraceLevel, Tracer, Value,
 };
 use dpgen_tiling::Tiling;
 use std::sync::Arc;
@@ -77,6 +77,7 @@ pub struct RunBuilder<'a, T> {
     serial: bool,
     probe: Probe,
     priority: Option<TilePriority>,
+    schedule: Schedule,
     comm: CommConfig,
     balance: Option<BalanceMethod>,
     stall_timeout: Option<Duration>,
@@ -99,6 +100,7 @@ impl<'a, T> RunBuilder<'a, T> {
             serial: false,
             probe: Probe::default(),
             priority: None,
+            schedule: Schedule::Dynamic,
             comm: CommConfig::default(),
             balance: None,
             stall_timeout: Some(dpgen_runtime::DEFAULT_STALL_TIMEOUT),
@@ -145,6 +147,20 @@ impl<'a, T> RunBuilder<'a, T> {
     /// (column-major with the load-balancing dimensions first).
     pub fn priority(mut self, priority: TilePriority) -> Self {
         self.priority = Some(priority);
+        self
+    }
+
+    /// Tile scheduling mode (default [`Schedule::Dynamic`], the
+    /// work-stealing heaps). [`Schedule::Static`] pins every owned tile to
+    /// a precomputed per-worker wavefront sequence *when the Ehrhart load
+    /// model reports uniform slabs* along the first load-balancing
+    /// dimension; irregular polytopes silently fall back to `Dynamic` (the
+    /// resolved mode is reported in `RunStats::schedule` and the
+    /// `schedule_mode` metric). [`Schedule::Mixed`] always applies: interior
+    /// tiles run statically, boundary tiles through the dynamic queue.
+    /// Ignored by the serial and grouped executors.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -228,6 +244,25 @@ impl<'a, T> RunBuilder<'a, T> {
             .clone()
             .unwrap_or_else(|| TilePriority::paper_default(self.tiling.dims(), &self.lb_dims))
     }
+
+    /// Apply the `Static` uniform-slab fallback: a requested static
+    /// schedule only survives when the load model reports equal work in
+    /// every slab along the first load-balancing dimension. `Mixed` needs
+    /// no guarantee (its boundary tiles stay dynamic) and `Dynamic` is
+    /// always itself.
+    fn resolved_schedule(&self) -> Schedule {
+        match self.schedule {
+            Schedule::Static => {
+                let lb_dim = self.lb_dims.first().copied().unwrap_or(0);
+                if slabs_uniform(self.tiling, self.params, lb_dim) {
+                    Schedule::Static
+                } else {
+                    Schedule::Dynamic
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 impl<'a, T: Value + Wire> RunBuilder<'a, T> {
@@ -286,6 +321,7 @@ impl<'a, T: Value + Wire> RunBuilder<'a, T> {
         let config = NodeConfig {
             threads: self.threads,
             priority: self.resolved_priority(),
+            schedule: self.resolved_schedule(),
             rank: 0,
             stall_timeout: self.stall_timeout,
             cancel: None,
@@ -339,6 +375,7 @@ impl<'a, T: Value + Wire> RunBuilder<'a, T> {
             ranks: self.ranks,
             threads_per_rank: self.threads,
             priority: self.priority.clone(),
+            schedule: self.resolved_schedule(),
             comm: self.comm,
             balance: self
                 .balance
@@ -555,6 +592,93 @@ mod tests {
         assert!(hybrid.balance.is_some());
         assert!(hybrid.edges_remote() > 0);
         assert!(hybrid.metrics.counter("rank2.comm.msgs_sent").is_some());
+    }
+
+    fn grid(w: i64) -> Tiling {
+        let space = Space::from_names(&["x", "y"], &["N"]).unwrap();
+        let mut sys = ConstraintSystem::new(space);
+        sys.add_text("0 <= x <= N").unwrap();
+        sys.add_text("0 <= y <= N").unwrap();
+        let templates = TemplateSet::new(
+            2,
+            vec![Template::new("r1", &[1, 0]), Template::new("r2", &[0, 1])],
+        )
+        .unwrap();
+        TilingBuilder::new(sys, templates, vec![w, w])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn schedule_resolution_applies_the_uniform_slab_rule() {
+        // A 16x16 grid in 4x4 tiles is slab-uniform: requested Static
+        // sticks, nothing is stolen, and results match the dynamic run.
+        let n = 15i64;
+        let tiling = grid(4);
+        let probe = Probe::at(&[0, 0]);
+        let dynamic = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .threads(4)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        let stat = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .threads(4)
+            .schedule(Schedule::Static)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(stat.probes, dynamic.probes);
+        let s = &stat.per_rank[0].stats;
+        assert_eq!(s.schedule, Schedule::Static);
+        assert_eq!(s.tiles_static, s.tiles_executed);
+        assert_eq!(s.steal_count, 0);
+        assert_eq!(
+            stat.metrics.gauge("rank0.schedule_mode"),
+            Some(Schedule::Static.code() as f64)
+        );
+
+        // The triangle's slabs shrink toward the hypotenuse: the same
+        // request falls back to Dynamic. Mixed applies regardless.
+        let tri = triangle(2);
+        let tri_dynamic = RunBuilder::<f64>::on_tiling(&tri, &[n])
+            .threads(2)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        let fallback = RunBuilder::<f64>::on_tiling(&tri, &[n])
+            .threads(2)
+            .schedule(Schedule::Static)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(fallback.per_rank[0].stats.schedule, Schedule::Dynamic);
+        assert_eq!(fallback.per_rank[0].stats.tiles_static, 0);
+        assert_eq!(fallback.probes, tri_dynamic.probes);
+        let mixed = RunBuilder::<f64>::on_tiling(&tri, &[n])
+            .threads(2)
+            .schedule(Schedule::Mixed)
+            .probe(probe.clone())
+            .run(&path_kernel)
+            .unwrap();
+        let m = &mixed.per_rank[0].stats;
+        assert_eq!(m.schedule, Schedule::Mixed);
+        assert!(m.tiles_static > 0 && m.tiles_dynamic > 0);
+        assert_eq!(mixed.probes, tri_dynamic.probes);
+
+        // Hybrid: the resolved mode reaches every rank.
+        let hybrid = RunBuilder::<f64>::on_tiling(&tiling, &[n])
+            .threads(2)
+            .ranks(2)
+            .schedule(Schedule::Static)
+            .probe(probe)
+            .run(&path_kernel)
+            .unwrap();
+        assert_eq!(hybrid.probes, dynamic.probes);
+        for r in &hybrid.per_rank {
+            assert_eq!(r.stats.schedule, Schedule::Static);
+            assert_eq!(r.stats.tiles_static, r.stats.tiles_executed);
+            assert_eq!(r.stats.steal_count, 0);
+        }
     }
 
     #[test]

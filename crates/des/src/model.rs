@@ -1,6 +1,6 @@
 //! Cost model and simulation configuration.
 
-use dpgen_runtime::TilePriority;
+use dpgen_runtime::{Schedule, TilePriority};
 
 /// Virtual-time costs of the simulated machine.
 ///
@@ -15,6 +15,10 @@ pub struct CostModel {
     pub cell_cost: f64,
     /// Fixed per-tile cost: buffer allocation, scheduler pop, bookkeeping.
     pub tile_overhead: f64,
+    /// Per-tile cost for statically scheduled tiles: no ready-heap push or
+    /// pop and no steal probes, just a cursor advance over the precomputed
+    /// sequence plus buffer bookkeeping.
+    pub static_tile_overhead: f64,
     /// Seconds per edge cell for packing plus unpacking.
     pub edge_cell_cost: f64,
     /// Per-message latency for a remote edge (seconds).
@@ -27,11 +31,12 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
-            cell_cost: 20e-9,     // ~20 ns per DP cell
-            tile_overhead: 2e-6,  // ~2 µs per tile dispatch
-            edge_cell_cost: 4e-9, // pack + unpack
-            comm_latency: 5e-6,   // MPI eager-message latency
-            comm_cell_cost: 8e-9, // 8-byte value at ~1 GB/s
+            cell_cost: 20e-9,           // ~20 ns per DP cell
+            tile_overhead: 2e-6,        // ~2 µs per tile dispatch
+            static_tile_overhead: 5e-7, // cursor advance, no heap or steals
+            edge_cell_cost: 4e-9,       // pack + unpack
+            comm_latency: 5e-6,         // MPI eager-message latency
+            comm_cell_cost: 8e-9,       // 8-byte value at ~1 GB/s
         }
     }
 }
@@ -51,6 +56,12 @@ pub struct SimConfig {
     /// worker that must send a remote edge while all buffers are in flight
     /// stalls until one frees. `usize::MAX` disables the limit.
     pub send_buffers: usize,
+    /// Resolved schedule mode, mirroring the runtime's `NodeConfig`:
+    /// statically pinned tiles dispatch in wavefront order at
+    /// [`CostModel::static_tile_overhead`] instead of the full
+    /// `tile_overhead`. The uniform-slab fallback happens upstream (in
+    /// `RunBuilder`); the simulator applies whatever mode it is given.
+    pub schedule: Schedule,
 }
 
 impl SimConfig {
@@ -63,6 +74,7 @@ impl SimConfig {
             priority: TilePriority::column_major(dims),
             cost: CostModel::default(),
             send_buffers: usize::MAX,
+            schedule: Schedule::Dynamic,
         }
     }
 
@@ -79,12 +91,19 @@ impl SimConfig {
             priority: TilePriority::paper_default(dims, lb_dims),
             cost: CostModel::default(),
             send_buffers: usize::MAX,
+            schedule: Schedule::Dynamic,
         }
     }
 
     /// Same configuration with a send-buffer limit.
     pub fn with_send_buffers(mut self, buffers: usize) -> SimConfig {
         self.send_buffers = buffers.max(1);
+        self
+    }
+
+    /// Same configuration with a (resolved) schedule mode.
+    pub fn with_schedule(mut self, schedule: Schedule) -> SimConfig {
+        self.schedule = schedule;
         self
     }
 }
@@ -98,6 +117,9 @@ mod tests {
         let c = CostModel::default();
         assert!(c.cell_cost > 0.0 && c.cell_cost < 1e-6);
         assert!(c.comm_latency > c.cell_cost);
+        // A static dispatch skips the heap and steal machinery, so it must
+        // model cheaper than the dynamic one.
+        assert!(c.static_tile_overhead > 0.0 && c.static_tile_overhead < c.tile_overhead);
     }
 
     #[test]
@@ -107,6 +129,9 @@ mod tests {
         assert_eq!(s.threads_per_rank, 24);
         let h = SimConfig::hybrid(8, 24, 4, &[0, 1]);
         assert_eq!(h.ranks, 8);
+        assert_eq!(h.schedule, Schedule::Dynamic);
+        assert_eq!(h.with_schedule(Schedule::Static).schedule, Schedule::Static);
+        let h = SimConfig::hybrid(8, 24, 4, &[0, 1]);
         match h.priority {
             TilePriority::ColumnMajor { dim_order } => assert_eq!(dim_order, vec![0, 1, 2, 3]),
             _ => unreachable!(),

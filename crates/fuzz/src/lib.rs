@@ -14,7 +14,7 @@
 use dpgen_core::specgen::{self, GeneratedSpec};
 use dpgen_core::RunBuilder;
 use dpgen_mpisim::{CommConfig, FaultPlan, ReliabilityConfig};
-use dpgen_runtime::{Probe, RunError, SplitMix64, TilePriority};
+use dpgen_runtime::{Probe, RunError, Schedule, SplitMix64, TilePriority};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -31,13 +31,16 @@ pub struct Leg {
     /// Use the seeded pseudo-random tile priority instead of the paper
     /// default (sweeps legal schedules).
     pub seeded_priority: bool,
+    /// Requested schedule mode ([`Schedule::Dynamic`] is the work-stealing
+    /// baseline; `Static`/`Mixed` exercise the precomputed wavefront paths).
+    pub schedule: Schedule,
 }
 
 impl fmt::Display for Leg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "threads={} ranks={}{}{}",
+            "threads={} ranks={}{}{}{}",
             self.threads,
             self.ranks,
             if self.faulted { " faulted" } else { "" },
@@ -46,14 +49,19 @@ impl fmt::Display for Leg {
             } else {
                 ""
             },
+            match self.schedule {
+                Schedule::Dynamic => "",
+                Schedule::Static => " static",
+                Schedule::Mixed => " mixed",
+            },
         )
     }
 }
 
-/// The full matrix the acceptance criteria name: {1, 2, 4} threads ×
-/// {1, 2} ranks fault-free, plus multi-rank legs under injected faults
-/// and a seeded-priority leg to vary the schedule.
-pub fn full_matrix() -> Vec<Leg> {
+/// The dynamic-only matrix from before static scheduling existed:
+/// {1, 2, 4} threads × {1, 2} ranks fault-free, plus multi-rank legs
+/// under injected faults and a seeded-priority leg to vary the schedule.
+pub fn basic_matrix() -> Vec<Leg> {
     let mut legs = Vec::new();
     for &threads in &[1usize, 2, 4] {
         for &ranks in &[1usize, 2] {
@@ -62,6 +70,7 @@ pub fn full_matrix() -> Vec<Leg> {
                 ranks,
                 faulted: false,
                 seeded_priority: false,
+                schedule: Schedule::Dynamic,
             });
         }
     }
@@ -71,6 +80,7 @@ pub fn full_matrix() -> Vec<Leg> {
             ranks: 2,
             faulted: true,
             seeded_priority: false,
+            schedule: Schedule::Dynamic,
         });
     }
     legs.push(Leg {
@@ -78,6 +88,38 @@ pub fn full_matrix() -> Vec<Leg> {
         ranks: 1,
         faulted: false,
         seeded_priority: true,
+        schedule: Schedule::Dynamic,
+    });
+    legs
+}
+
+/// The full matrix the acceptance criteria name: [`basic_matrix`] plus
+/// `Static` and `Mixed` legs. Static legs exercise both the precomputed
+/// path (uniform-slab specs) and the silent fallback to `Dynamic`
+/// (irregular specs); the `Mixed` leg always pins interior tiles, so it
+/// exercises the static/dynamic hand-off on every spec that has any.
+pub fn full_matrix() -> Vec<Leg> {
+    let mut legs = basic_matrix();
+    legs.push(Leg {
+        threads: 2,
+        ranks: 1,
+        faulted: false,
+        seeded_priority: false,
+        schedule: Schedule::Static,
+    });
+    legs.push(Leg {
+        threads: 4,
+        ranks: 2,
+        faulted: false,
+        seeded_priority: false,
+        schedule: Schedule::Static,
+    });
+    legs.push(Leg {
+        threads: 2,
+        ranks: 2,
+        faulted: false,
+        seeded_priority: false,
+        schedule: Schedule::Mixed,
     });
     legs
 }
@@ -148,6 +190,7 @@ pub fn check_spec(gs: &GeneratedSpec, legs: &[Leg]) -> Result<(), Failure> {
             .threads(leg.threads)
             .ranks(leg.ranks)
             .lb_dims(lb_dims.clone())
+            .schedule(leg.schedule)
             .probe(probe.clone())
             .stall_timeout(Some(Duration::from_secs(20)));
         if leg.seeded_priority {
@@ -366,6 +409,20 @@ mod tests {
         }
         assert!(legs.iter().any(|l| l.faulted && l.ranks > 1));
         assert!(legs.iter().any(|l| l.seeded_priority));
+        assert_eq!(legs.len(), 12);
+        assert!(legs
+            .iter()
+            .any(|l| l.schedule == Schedule::Static && l.ranks == 1));
+        assert!(legs
+            .iter()
+            .any(|l| l.schedule == Schedule::Static && l.ranks == 2 && l.threads == 4));
+        assert!(legs
+            .iter()
+            .any(|l| l.schedule == Schedule::Mixed && l.ranks == 2));
+        assert_eq!(basic_matrix().len(), 9);
+        assert!(basic_matrix()
+            .iter()
+            .all(|l| l.schedule == Schedule::Dynamic));
     }
 
     #[test]
@@ -378,12 +435,21 @@ mod tests {
                 ranks: 1,
                 faulted: false,
                 seeded_priority: false,
+                schedule: Schedule::Dynamic,
             },
             Leg {
                 threads: 2,
                 ranks: 2,
                 faulted: false,
                 seeded_priority: false,
+                schedule: Schedule::Static,
+            },
+            Leg {
+                threads: 2,
+                ranks: 1,
+                faulted: false,
+                seeded_priority: false,
+                schedule: Schedule::Mixed,
             },
         ];
         let mut gen = SpecGen::new(0xFEED);
@@ -409,6 +475,7 @@ mod tests {
             ranks: 1,
             faulted: false,
             seeded_priority: false,
+            schedule: Schedule::Dynamic,
         }];
         let failure = Failure {
             seed: gs.seed,

@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! dpgen-fuzz [--seed <u64|0xhex>] [--seed-from-env] [--budget <n>]
-//!            [--artifacts <dir>] [--emit-corpus <dir> <count>]
-//!            [--replay <u64|0xhex>]
+//!            [--legs <all|basic>] [--artifacts <dir>]
+//!            [--emit-corpus <dir> <count>] [--replay <u64|0xhex>]
 //! ```
 //!
 //! Generates `--budget` random specs from the seed and checks each one
-//! across the full differential matrix. On the first failure the spec is
+//! across the differential matrix — all 12 legs by default, or the
+//! 9-leg dynamic-only `basic` matrix via `--legs basic`. On the first failure the spec is
 //! auto-shrunk and written to `<artifacts>/minimized.json` (plus
 //! `stall.txt` when a stall snapshot exists), and the process exits 1 —
 //! CI uploads the artifacts directory. `--emit-corpus` instead writes the
@@ -17,13 +18,16 @@
 //! that spec.
 
 use dpgen_core::{specgen, SpecGen};
-use dpgen_fuzz::{check_spec, full_matrix, parse_seed, save_spec, seed_from_env, shrink};
+use dpgen_fuzz::{
+    basic_matrix, check_spec, full_matrix, parse_seed, save_spec, seed_from_env, shrink, Leg,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     seed: u64,
     budget: usize,
+    legs: Vec<Leg>,
     artifacts: PathBuf,
     emit_corpus: Option<(PathBuf, usize)>,
     replay: Option<u64>,
@@ -33,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         seed: 0x5EED_D1FF,
         budget: 200,
+        legs: full_matrix(),
         artifacts: PathBuf::from("fuzz-artifacts"),
         emit_corpus: None,
         replay: None,
@@ -51,6 +56,14 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| missing("--budget"))?
                     .parse::<usize>()
                     .map_err(|e| format!("bad budget: {e}"))?;
+            }
+            "--legs" => {
+                let which = args.next().ok_or_else(|| missing("--legs"))?;
+                opts.legs = match which.as_str() {
+                    "all" => full_matrix(),
+                    "basic" => basic_matrix(),
+                    other => return Err(format!("bad legs `{other}` (want all|basic)")),
+                };
             }
             "--artifacts" => {
                 opts.artifacts = PathBuf::from(args.next().ok_or_else(|| missing("--artifacts"))?);
@@ -72,8 +85,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "dpgen-fuzz [--seed <u64|0xhex>] [--seed-from-env] [--budget <n>]\n\
-                     \x20         [--artifacts <dir>] [--emit-corpus <dir> <count>]\n\
-                     \x20         [--replay <u64|0xhex>]"
+                     \x20         [--legs <all|basic>] [--artifacts <dir>]\n\
+                     \x20         [--emit-corpus <dir> <count>] [--replay <u64|0xhex>]"
                 );
                 std::process::exit(0);
             }
@@ -98,7 +111,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         println!("dpgen-fuzz: replaying {} across the matrix", gs.spec.name);
-        return match check_spec(&gs, &full_matrix()) {
+        return match check_spec(&gs, &opts.legs) {
             Ok(()) => {
                 println!("dpgen-fuzz: spec agrees on every leg");
                 ExitCode::SUCCESS
@@ -125,7 +138,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let legs = full_matrix();
+    let legs = opts.legs;
     println!(
         "dpgen-fuzz: seed {:#018x}, budget {} specs, {} matrix legs",
         opts.seed,

@@ -37,6 +37,7 @@ pub mod priority;
 pub mod reduce;
 pub mod reference;
 pub mod rng;
+pub mod schedule;
 pub mod scheduler;
 pub mod sharded;
 pub mod stats;
@@ -60,6 +61,7 @@ pub use priority::TilePriority;
 pub use reduce::Reduction;
 pub use reference::{run_reference, ReferenceResult};
 pub use rng::SplitMix64;
+pub use schedule::{Schedule, StaticPlan};
 pub use scheduler::Scheduler;
 pub use sharded::{EdgeDelivery, ShardedScheduler};
 pub use stats::RunStats;

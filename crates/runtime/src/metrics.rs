@@ -307,6 +307,8 @@ impl MetricsRegistry {
         c(self, "edge_cells_packed", s.edge_cells_packed);
         c(self, "steal_count", s.steal_count);
         c(self, "steal_fail_count", s.steal_fail_count);
+        c(self, "tiles_static", s.tiles_static);
+        c(self, "tiles_dynamic", s.tiles_dynamic);
         let g = |reg: &mut MetricsRegistry, name: &str, v: f64| {
             reg.set_gauge(&format!("{prefix}{name}"), v);
         };
@@ -316,6 +318,10 @@ impl MetricsRegistry {
         g(self, "lock_wait_time_s", s.lock_wait_time.as_secs_f64());
         g(self, "idle_fraction", s.idle_fraction());
         g(self, "steal_fraction", s.steal_fraction());
+        // The resolved schedule mode as its stable code (0 dynamic,
+        // 1 static, 2 mixed) plus the static-tile share of the run.
+        g(self, "schedule_mode", s.schedule.code() as f64);
+        g(self, "static_fraction", s.static_fraction());
         g(self, "interior_fraction", s.interior_fraction());
         g(self, "buffer_reuse_fraction", s.buffer_reuse_fraction());
         g(self, "worker_imbalance", s.worker_imbalance());

@@ -35,6 +35,7 @@ use crate::kernel::{Kernel, Value};
 use crate::memory::MemoryStats;
 use crate::priority::TilePriority;
 use crate::reduce::Reduction;
+use crate::schedule::{Schedule, StaticPlan};
 use crate::sharded::{EdgeDelivery, ShardedScheduler};
 use crate::stats::RunStats;
 use crate::trace::{EventKind, Tracer};
@@ -43,7 +44,7 @@ use dpgen_tiling::{Coord, Tiling, MAX_DIMS};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -71,6 +72,10 @@ pub struct NodeConfig {
     pub threads: usize,
     /// Ready-queue ordering policy.
     pub priority: TilePriority,
+    /// Tile scheduling mode. This is the *resolved* mode: callers that
+    /// honour the `Static` uniform-slab fallback (see
+    /// `core::RunBuilder::schedule`) resolve before building the config.
+    pub schedule: Schedule,
     /// This node's rank.
     pub rank: usize,
     /// The stall watchdog: when the node makes no progress (no tile
@@ -103,11 +108,18 @@ impl NodeConfig {
         NodeConfig {
             threads,
             priority: TilePriority::column_major(dims),
+            schedule: Schedule::Dynamic,
             rank: 0,
             stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
             cancel: None,
             tracer: None,
         }
+    }
+
+    /// Same configuration with a different schedule mode.
+    pub fn with_schedule(mut self, schedule: Schedule) -> NodeConfig {
+        self.schedule = schedule;
+        self
     }
 
     /// Same configuration with a different watchdog window.
@@ -365,11 +377,32 @@ where
         }
     }
     let owned = owned_list.len() as u64;
+    let threads = config.threads.max(1);
+    // The static plan (Static/Mixed): per-worker wavefront sequences over
+    // the owned tiles, built serially alongside initial-tile generation
+    // and charged to the same `init_time` bucket.
+    let plan: Option<Arc<StaticPlan>> =
+        StaticPlan::build(tiling, &mut point, &owned_list, threads, config.schedule).map(Arc::new);
+    let resolved_schedule = plan.as_ref().map(|p| p.mode()).unwrap_or(Schedule::Dynamic);
+    // Shared cursors into the plan's per-worker sequences. Each advances
+    // strictly front to back, but *any* worker may advance any cursor
+    // whose head is parked ready (cursor helping): `take_static` removes
+    // the tile atomically, so exactly one taker wins a given position and
+    // only that winner publishes the advance.
+    let cursors: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
     drop(owned_list);
     let init_time = t_start.elapsed();
 
-    let threads = config.threads.max(1);
     let tracer = config.tracer.as_deref();
+    if let Some(t) = tracer {
+        let pinned = plan.as_ref().map(|p| p.len()).unwrap_or(0) as u64;
+        t.record(
+            0,
+            EventKind::ScheduleMode,
+            None,
+            resolved_schedule.code() | (pinned << 8),
+        );
+    }
     let mem = Arc::new(MemoryStats::new());
     let sched: ShardedScheduler<T> = ShardedScheduler::new(
         config.priority.clone(),
@@ -377,13 +410,16 @@ where
         threads,
         mem.clone(),
     )
-    .with_tracer(config.tracer.clone());
+    .with_tracer(config.tracer.clone())
+    .with_plan(plan.clone());
     for t in initials {
         sched.mark_initial(t);
     }
     let cv = Condvar::new();
     let cv_mutex = Mutex::new(()); // park/wake channel, no data under it
     let executed = AtomicU64::new(0);
+    let tiles_static = AtomicU64::new(0);
+    let tiles_dynamic = AtomicU64::new(0);
     let cells = AtomicU64::new(0);
     let interior = AtomicU64::new(0);
     let boundary = AtomicU64::new(0);
@@ -438,6 +474,10 @@ where
             let cv = &cv;
             let cv_mutex = &cv_mutex;
             let executed = &executed;
+            let tiles_static = &tiles_static;
+            let tiles_dynamic = &tiles_dynamic;
+            let plan = &plan;
+            let cursors = &cursors;
             let cells = &cells;
             let interior = &interior;
             let boundary = &boundary;
@@ -457,6 +497,20 @@ where
             scope.spawn(move || {
                 let mut point = tiling.make_point(params);
                 let mut pool: TileBufferPool<T> = TileBufferPool::new();
+                // Take the head of worker `ow`'s static sequence if it is
+                // parked ready. Own head first keeps affinity; helping
+                // (ow != w) only happens when this worker has nothing else
+                // to do, so a descheduled owner never stalls the pipeline.
+                let take_head = |ow: usize| {
+                    let p = plan.as_deref()?;
+                    let c = cursors[ow].load(Ordering::Acquire);
+                    let head = p.sequence(ow).get(c)?;
+                    let edges = sched.take_static(head)?;
+                    // Only the winner of position `c` reaches this store;
+                    // fetch_max keeps a stale racer from rewinding it.
+                    cursors[ow].fetch_max(c + 1, Ordering::AcqRel);
+                    Some((*head, edges))
+                };
                 // Tracks the current idle episode for WorkerIdle/Resume
                 // events; only maintained when a tracer is attached.
                 let mut idle_since: Option<Instant> = None;
@@ -517,11 +571,34 @@ where
                     if !batch.is_empty() {
                         note_progress();
                         let ready = sched.deliver_batch(w, &mut batch);
+                        // One wake per readied tile is enough under every
+                        // mode: cursor helping lets any woken worker take
+                        // any ready head, and the deliverer itself loops
+                        // straight into selection for the rest.
                         for _ in 0..ready.min(threads) {
                             cv.notify_one();
                         }
                     }
-                    let Some((tile, edges)) = sched.pop(w) else {
+                    // Schedule-aware selection: own static cursor first (the
+                    // plan's pipeline order is deadlock-free, see
+                    // `schedule`), then the dynamic heaps — which under
+                    // `Mixed` keeps boundary tiles flowing while the cursor
+                    // head waits on its dependencies — and finally cursor
+                    // helping: advance another worker's ready head rather
+                    // than idle while its owner is off-CPU.
+                    let mut from_static = false;
+                    let next = match take_head(w) {
+                        Some(hit) => {
+                            from_static = true;
+                            Some(hit)
+                        }
+                        None => sched.pop(w).or_else(|| {
+                            (1..threads)
+                                .find_map(|d| take_head((w + d) % threads))
+                                .inspect(|_| from_static = true)
+                        }),
+                    };
+                    let Some((tile, edges)) = next else {
                         if executed.load(Ordering::Acquire) >= owned {
                             break;
                         }
@@ -536,8 +613,21 @@ where
                         }
                         let t0 = Instant::now();
                         {
+                            // "Work this worker could act on": a non-empty
+                            // dynamic heap, or any cursor head parked ready
+                            // (helping makes every ready head actionable by
+                            // every worker).
+                            let actionable = sched.dynamic_ready_len() > 0
+                                || plan.as_deref().is_some_and(|p| {
+                                    (0..threads).any(|ow| {
+                                        let c = cursors[ow].load(Ordering::Acquire);
+                                        p.sequence(ow)
+                                            .get(c)
+                                            .is_some_and(|head| sched.static_ready_contains(head))
+                                    })
+                                });
                             let mut guard = cv_mutex.lock();
-                            if sched.ready_len() == 0
+                            if !actionable
                                 && executed.load(Ordering::Acquire) < owned
                                 && !failed.load(Ordering::Acquire)
                             {
@@ -745,6 +835,8 @@ where
                     interior.fetch_add(counts.interior_cells, Ordering::Relaxed);
                     boundary.fetch_add(counts.boundary_cells, Ordering::Relaxed);
                     let ready = sched.deliver_batch(w, &mut batch);
+                    // See above: helping makes single wake-ups sufficient
+                    // under a plan too.
                     for _ in 0..ready.min(threads) {
                         cv.notify_one();
                     }
@@ -752,6 +844,11 @@ where
                     pool.release(values, written);
                     mem.tile_released(layout.size());
                     tiles_per_worker[w].fetch_add(1, Ordering::Relaxed);
+                    if from_static {
+                        tiles_static.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tiles_dynamic.fetch_add(1, Ordering::Relaxed);
+                    }
                     note_progress();
 
                     let done = executed.fetch_add(1, Ordering::AcqRel) + 1;
@@ -797,6 +894,9 @@ where
 
     let stats = RunStats {
         tiles_executed: executed.load(Ordering::Acquire),
+        schedule: resolved_schedule,
+        tiles_static: tiles_static.load(Ordering::Relaxed),
+        tiles_dynamic: tiles_dynamic.load(Ordering::Relaxed),
         cells_computed: cells.load(Ordering::Relaxed),
         interior_cells: interior.load(Ordering::Relaxed),
         boundary_cells: boundary.load(Ordering::Relaxed),
@@ -853,6 +953,7 @@ where
     let config = NodeConfig {
         threads,
         priority,
+        schedule: Schedule::Dynamic,
         rank: 0,
         stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
         cancel: None,
@@ -890,6 +991,7 @@ where
     let config = NodeConfig {
         threads,
         priority,
+        schedule: Schedule::Dynamic,
         rank: 0,
         stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
         cancel: None,
@@ -1082,6 +1184,51 @@ mod tests {
                 )
                 .unwrap();
                 assert_eq!(res.probes[0], Some(expect[&(0, 0)]), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_and_mixed_schedules_match_dynamic() {
+        let tiling = triangle(2);
+        let n = 20i64;
+        let expect = brute(n)[&(0, 0)];
+        for threads in [1usize, 2, 4] {
+            for schedule in [Schedule::Static, Schedule::Mixed] {
+                let config = NodeConfig::new(threads, 2).with_schedule(schedule);
+                let res: NodeResult<u64> = run_node(
+                    &tiling,
+                    &[n],
+                    &path_kernel,
+                    &SingleOwner,
+                    &NullTransport::default(),
+                    &Probe::at(&[0, 0]),
+                    &config,
+                )
+                .unwrap();
+                assert_eq!(res.probes[0], Some(expect), "{schedule} threads={threads}");
+                let stats = &res.stats;
+                assert_eq!(stats.schedule, schedule);
+                assert_eq!(
+                    stats.tiles_static + stats.tiles_dynamic,
+                    stats.tiles_executed
+                );
+                match schedule {
+                    // Every tile pinned: nothing flows through the heaps,
+                    // so nothing can be stolen.
+                    Schedule::Static => {
+                        assert_eq!(stats.tiles_static, stats.tiles_executed);
+                        assert_eq!(stats.steal_count, 0);
+                        assert_eq!(stats.steal_fail_count, 0);
+                    }
+                    // The triangle's hypotenuse tiles are clipped, so a
+                    // mixed run must split the work both ways.
+                    Schedule::Mixed => {
+                        assert!(stats.tiles_static > 0, "no interior tiles pinned");
+                        assert!(stats.tiles_dynamic > 0, "no boundary tiles left dynamic");
+                    }
+                    Schedule::Dynamic => unreachable!(),
+                }
             }
         }
     }

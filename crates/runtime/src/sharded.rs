@@ -32,6 +32,7 @@
 
 use crate::memory::MemoryStats;
 use crate::priority::TilePriority;
+use crate::schedule::StaticPlan;
 use crate::scheduler::TileEdges;
 use crate::trace::{EventKind, Tracer};
 use dpgen_tiling::{Coord, Direction};
@@ -56,8 +57,12 @@ pub struct EdgeDelivery<T> {
     pub total: usize,
 }
 
+/// A tile's buffered incoming edges: `(dependency delta, packed payload)`
+/// pairs, handed to the kernel when the tile executes.
+type EdgeBundle<T> = Vec<(Coord, Vec<T>)>;
+
 struct Pending<T> {
-    edges: Vec<(Coord, Vec<T>)>,
+    edges: EdgeBundle<T>,
     total: usize,
 }
 
@@ -65,7 +70,7 @@ struct Pending<T> {
 struct ReadyTile<T> {
     key: Vec<i64>,
     tile: Coord,
-    edges: Vec<(Coord, Vec<T>)>,
+    edges: EdgeBundle<T>,
 }
 
 impl<T> PartialEq for ReadyTile<T> {
@@ -102,6 +107,13 @@ pub struct ShardedScheduler<T> {
     shards: Vec<Mutex<HashMap<Coord, Pending<T>>>>,
     shard_mask: u64,
     queues: Vec<WorkerQueue<T>>,
+    /// Statically pinned tiles whose dependency sets are complete, parked
+    /// here (instead of the ready heaps) until their owner's cursor reaches
+    /// them. Sharded by the same Coord hash as the pending table.
+    static_shards: Vec<Mutex<HashMap<Coord, EdgeBundle<T>>>>,
+    /// Mirror of the total static-ready count, readable without locks.
+    static_len: AtomicUsize,
+    plan: Option<Arc<StaticPlan>>,
     seq: AtomicU64,
     stats: Arc<MemoryStats>,
     steals: AtomicU64,
@@ -146,6 +158,11 @@ impl<T> ShardedScheduler<T> {
                     len: AtomicUsize::new(0),
                 })
                 .collect(),
+            static_shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            static_len: AtomicUsize::new(0),
+            plan: None,
             seq: AtomicU64::new(0),
             stats,
             steals: AtomicU64::new(0),
@@ -159,6 +176,14 @@ impl<T> ShardedScheduler<T> {
     /// a ready queue, `Steal` when a worker takes a tile from a sibling.
     pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> ShardedScheduler<T> {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach a static plan: ready tiles the plan pins are routed to the
+    /// static-ready table (popped by [`ShardedScheduler::take_static`] in
+    /// plan order) instead of the work-stealing heaps.
+    pub fn with_plan(mut self, plan: Option<Arc<StaticPlan>>) -> ShardedScheduler<T> {
+        self.plan = plan;
         self
     }
 
@@ -198,15 +223,39 @@ impl<T> ShardedScheduler<T> {
         q.len.fetch_add(1, Ordering::Release);
     }
 
-    fn make_ready(&self, tile: Coord, edges: Vec<(Coord, Vec<T>)>) -> ReadyTile<T> {
+    fn make_ready(&self, tile: Coord, edges: EdgeBundle<T>) -> ReadyTile<T> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let key = self.priority.key(&tile, &self.directions, seq);
         ReadyTile { key, tile, edges }
     }
 
+    /// Route a tile whose dependency set just completed: statically pinned
+    /// tiles park in the static-ready table (their owner's cursor will
+    /// collect them), everything else goes to `worker`'s ready heap.
+    fn route_ready(&self, worker: usize, tile: Coord, edges: EdgeBundle<T>) {
+        if self.plan.as_ref().is_some_and(|p| p.is_member(&tile)) {
+            if let Some(t) = &self.tracer {
+                t.record(worker, EventKind::TileReady, Some(&tile), 1);
+            }
+            let prev = self
+                .timed_lock(&self.static_shards[self.shard_of(&tile)])
+                .insert(tile, edges);
+            debug_assert!(prev.is_none(), "tile {tile} readied twice");
+            self.static_len.fetch_add(1, Ordering::Release);
+        } else {
+            let entry = self.make_ready(tile, edges);
+            self.push_ready(worker, entry);
+        }
+    }
+
     /// Enqueue a tile with no dependencies (Section IV-K). Initial tiles
-    /// are spread round-robin over the worker queues.
+    /// are spread round-robin over the worker queues (statically pinned
+    /// ones go straight to the static-ready table).
     pub fn mark_initial(&self, tile: Coord) {
+        if self.plan.as_ref().is_some_and(|p| p.is_member(&tile)) {
+            self.route_ready(0, tile, Vec::new());
+            return;
+        }
         let entry = self.make_ready(tile, Vec::new());
         let worker = (self.seq.load(Ordering::Relaxed) % self.queues.len() as u64) as usize;
         self.push_ready(worker, entry);
@@ -221,7 +270,7 @@ impl<T> ShardedScheduler<T> {
         delta: Coord,
         payload: Vec<T>,
         total: usize,
-    ) -> Option<Vec<(Coord, Vec<T>)>> {
+    ) -> Option<EdgeBundle<T>> {
         debug_assert!(total > 0, "tile with zero deps must use mark_initial");
         self.stats.edge_buffered(payload.len());
         let entry = match map.entry(tile) {
@@ -266,8 +315,7 @@ impl<T> ShardedScheduler<T> {
         };
         match done {
             Some(edges) => {
-                let entry = self.make_ready(tile, edges);
-                self.push_ready(worker, entry);
+                self.route_ready(worker, tile, edges);
                 true
             }
             None => false,
@@ -293,14 +341,14 @@ impl<T> ShardedScheduler<T> {
         let mut it = batch.drain(..).peekable();
         while let Some(first) = it.next() {
             let shard_idx = self.shard_of(&first.tile);
-            let mut ready: Vec<ReadyTile<T>> = Vec::new();
+            let mut ready: Vec<(Coord, EdgeBundle<T>)> = Vec::new();
             {
                 let mut shard = self.timed_lock(&self.shards[shard_idx]);
                 let mut deliver = |e: EdgeDelivery<T>, shard: &mut HashMap<Coord, Pending<T>>| {
                     if let Some(edges) =
                         self.deliver_into(shard, e.tile, e.delta, e.payload, e.total)
                     {
-                        ready.push(self.make_ready(e.tile, edges));
+                        ready.push((e.tile, edges));
                     }
                 };
                 deliver(first, &mut shard);
@@ -316,8 +364,8 @@ impl<T> ShardedScheduler<T> {
             // Queue pushes happen after the shard lock is dropped so the
             // scheduler never holds two locks at once.
             newly_ready += ready.len();
-            for entry in ready {
-                self.push_ready(worker, entry);
+            for (tile, edges) in ready {
+                self.route_ready(worker, tile, edges);
             }
         }
         newly_ready
@@ -381,8 +429,53 @@ impl<T> ShardedScheduler<T> {
         Some((entry.tile, entry.edges))
     }
 
-    /// Total ready tiles across all queues (approximate under concurrency).
+    /// Take a statically pinned tile if its dependency set is complete.
+    /// The caller (the worker whose plan sequence names `tile` next) keeps
+    /// polling until this succeeds, draining dynamic work in the meantime
+    /// under [`crate::Schedule::Mixed`].
+    pub fn take_static(&self, tile: &Coord) -> Option<TileEdges<T>> {
+        if self.static_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let got = self
+            .timed_lock(&self.static_shards[self.shard_of(tile)])
+            .remove(tile);
+        let edges = got?;
+        self.static_len.fetch_sub(1, Ordering::Release);
+        for (_, payload) in &edges {
+            self.stats.edge_consumed(payload.len());
+        }
+        Some(edges)
+    }
+
+    /// Whether `tile` is parked in the static-ready table right now (the
+    /// idle-wait check for a worker blocked on its plan cursor; racy in the
+    /// same bounded way as the queue length counters).
+    pub fn static_ready_contains(&self, tile: &Coord) -> bool {
+        if self.static_len.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.timed_lock(&self.static_shards[self.shard_of(tile)])
+            .contains_key(tile)
+    }
+
+    /// Statically pinned tiles currently parked ready.
+    pub fn static_ready_len(&self) -> usize {
+        self.static_len.load(Ordering::Acquire)
+    }
+
+    /// Total ready tiles across all queues, including statically parked
+    /// ones (approximate under concurrency).
     pub fn ready_len(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.len.load(Ordering::Acquire))
+            .sum::<usize>()
+            + self.static_len.load(Ordering::Acquire)
+    }
+
+    /// Ready tiles in the dynamic heaps only (excludes static-parked).
+    pub fn dynamic_ready_len(&self) -> usize {
         self.queues
             .iter()
             .map(|q| q.len.load(Ordering::Acquire))
@@ -546,6 +639,32 @@ mod tests {
         let s = sched(TilePriority::Fifo, 1);
         s.deliver_edge(0, c(&[1, 0]), c(&[-1, 0]), vec![], 2);
         s.deliver_edge(0, c(&[1, 0]), c(&[-1, 0]), vec![], 2);
+    }
+
+    #[test]
+    fn plan_members_bypass_the_heaps() {
+        use crate::schedule::{Schedule, StaticPlan};
+        let pinned = c(&[1, 0]);
+        let free = c(&[0, 1]);
+        let plan = StaticPlan::from_sequences(vec![vec![pinned]], Schedule::Mixed);
+        let s = sched(TilePriority::Fifo, 2).with_plan(Some(Arc::new(plan)));
+        // A pinned tile completing its deps parks in the static table …
+        assert!(s.deliver_edge(0, pinned, c(&[-1, 0]), vec![1.0], 1));
+        assert_eq!(s.static_ready_len(), 1);
+        assert_eq!(s.dynamic_ready_len(), 0);
+        assert_eq!(s.ready_len(), 1);
+        assert!(s.pop(0).is_none(), "pinned tile must not reach the heaps");
+        // … and is only reachable through take_static, with edge accounting.
+        assert!(s.take_static(&free).is_none());
+        let edges = s.take_static(&pinned).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(s.static_ready_len(), 0);
+        assert_eq!(s.stats().current_edges(), 0);
+        // Non-members still flow through the dynamic path.
+        s.mark_initial(free);
+        assert_eq!(s.static_ready_len(), 0);
+        assert_eq!(s.pop(0).unwrap().0, free);
+        assert_eq!(s.ready_len(), 0);
     }
 
     #[test]

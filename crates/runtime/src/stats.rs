@@ -1,5 +1,6 @@
 //! Per-run statistics reported by the node runtime.
 
+use crate::schedule::Schedule;
 use std::time::Duration;
 
 /// Counters and timings from one node's run, used by the evaluation harness
@@ -9,6 +10,13 @@ use std::time::Duration;
 pub struct RunStats {
     /// Tiles executed by this node.
     pub tiles_executed: u64,
+    /// The schedule mode this node actually ran (after the uniform-slab
+    /// fallback resolution; see `core::RunBuilder::schedule`).
+    pub schedule: Schedule,
+    /// Tiles executed from a precomputed static per-worker sequence.
+    pub tiles_static: u64,
+    /// Tiles executed through the dynamic ready heaps.
+    pub tiles_dynamic: u64,
     /// Cells computed (center-loop executions).
     pub cells_computed: u64,
     /// Cells computed inside interior fast-path runs (all validity checks
@@ -79,6 +87,15 @@ impl RunStats {
             return 0.0;
         }
         self.idle_time.as_secs_f64() / (self.total_time.as_secs_f64() * self.threads as f64)
+    }
+
+    /// Fraction of tiles executed from the static per-worker sequences
+    /// (1.0 for a fully static run, 0.0 for a dynamic one).
+    pub fn static_fraction(&self) -> f64 {
+        if self.tiles_executed == 0 {
+            return 0.0;
+        }
+        self.tiles_static as f64 / self.tiles_executed as f64
     }
 
     /// Fraction of tiles that were obtained by stealing.

@@ -125,6 +125,10 @@ pub enum EventKind {
     /// The worker observed a failure (its own or a sibling's). `tile` =
     /// the offending tile when the error carries one, `aux` = severity.
     Fault = 13,
+    /// The rank resolved its schedule mode at run start. `aux` = the
+    /// [`crate::Schedule`] code (0 dynamic, 1 static, 2 mixed) in the low
+    /// 8 bits, statically pinned tile count in the bits above.
+    ScheduleMode = 14,
 }
 
 impl EventKind {
@@ -145,6 +149,7 @@ impl EventKind {
             11 => WorkerIdle,
             12 => WorkerResume,
             13 => Fault,
+            14 => ScheduleMode,
             _ => return None,
         })
     }
@@ -153,9 +158,8 @@ impl EventKind {
     pub fn min_level(self) -> TraceLevel {
         use EventKind::*;
         match self {
-            TileStart | TileDone | Steal | StallProbe | WorkerIdle | WorkerResume | Fault => {
-                TraceLevel::Spans
-            }
+            TileStart | TileDone | Steal | StallProbe | WorkerIdle | WorkerResume | Fault
+            | ScheduleMode => TraceLevel::Spans,
             TileReady | EdgePack | EdgeSend | EdgeRecv | Retransmit | Ack => TraceLevel::Full,
         }
     }
@@ -177,6 +181,7 @@ impl EventKind {
             WorkerIdle => "WorkerIdle",
             WorkerResume => "WorkerResume",
             Fault => "Fault",
+            ScheduleMode => "ScheduleMode",
         }
     }
 }

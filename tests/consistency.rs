@@ -6,7 +6,7 @@
 use dpgen::core::RunBuilder;
 use dpgen::polyhedra::{ConstraintSystem, Space};
 use dpgen::problems::{random_sequence, Bandit2, Lcs, SmithWaterman};
-use dpgen::runtime::{run_reference, Probe, Reduction, TilePriority};
+use dpgen::runtime::{run_reference, Probe, Reduction, Schedule, TilePriority};
 use dpgen::tiling::tiling::CellRef;
 use dpgen::tiling::{Template, TemplateSet, Tiling, TilingBuilder};
 use proptest::prelude::*;
@@ -276,6 +276,60 @@ fn lcs_matrix_bit_identical_across_threads_and_widths() {
     }
 }
 
+/// Schedule-mode consistency matrix: Dynamic, Static and Mixed wavefront
+/// schedules are bit-identical on LCS across every thread count and
+/// several widths. Width 2 divides the first sequence's extent (12), so
+/// its slabs are uniform and a requested `Static` must actually stick:
+/// all tiles statically dispatched, zero steals. The ragged widths
+/// exercise the silent fallback to `Dynamic` on the same assertions.
+#[test]
+fn lcs_schedule_matrix_bit_identical() {
+    let a = random_sequence(37, 11);
+    let b = random_sequence(41, 12);
+    let problem = Lcs::new(&[&a, &b]);
+    let want = problem.solve_dense();
+    let goal = problem.goal();
+    let mid = [goal[0] / 2, goal[1] / 3];
+    for width in [2i64, 5, 16] {
+        let program = Lcs::program(2, width).unwrap();
+        let reference = run_reference::<i64, _>(program.tiling(), &problem.params(), &problem);
+        for schedule in [Schedule::Dynamic, Schedule::Static, Schedule::Mixed] {
+            for threads in THREAD_MATRIX {
+                let probe = Probe::many(&[&goal, &mid]);
+                let res = RunBuilder::<i64>::on_tiling(program.tiling(), &problem.params())
+                    .threads(threads)
+                    .priority(TilePriority::column_major(2))
+                    .schedule(schedule)
+                    .probe(probe)
+                    .run(&problem)
+                    .unwrap();
+                let ctx = format!("lcs w={width} threads={threads} schedule={schedule}");
+                assert_eq!(res.probes[0], Some(want), "{ctx}");
+                assert_eq!(res.probes[1], reference.get(&mid), "{ctx}");
+                let stats = &res.per_rank[0].stats;
+                assert_hot_path_stats(stats, threads, &ctx);
+                assert_eq!(
+                    stats.tiles_static + stats.tiles_dynamic,
+                    stats.tiles_executed,
+                    "{ctx}"
+                );
+                match stats.schedule {
+                    Schedule::Static => {
+                        assert_eq!(stats.tiles_static, stats.tiles_executed, "{ctx}");
+                        assert_eq!(stats.steal_count, 0, "{ctx}: static runs must not steal");
+                    }
+                    Schedule::Dynamic => assert_eq!(stats.tiles_static, 0, "{ctx}"),
+                    Schedule::Mixed => {}
+                }
+                if schedule == Schedule::Static && width == 2 {
+                    // Slabs are uniform at width 2: the request must stick.
+                    assert_eq!(stats.schedule, Schedule::Static, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
 /// Smith–Waterman's whole-space max reduction is order-independent, so
 /// every thread count and width must give the exact dense answer.
 #[test]
@@ -297,6 +351,41 @@ fn smith_waterman_matrix_bit_identical() {
                 .unwrap();
             assert_eq!(res.reduction, Some(want), "w={width} threads={threads}");
             assert_hot_path_stats(&res.per_rank[0].stats, threads, &format!("sw w={width}"));
+        }
+    }
+}
+
+/// Smith–Waterman under Static and Mixed schedules: the reduction stays
+/// exactly the dense answer for every thread count, and the static tile
+/// accounting is conserved.
+#[test]
+fn smith_waterman_schedule_matrix_bit_identical() {
+    let a = random_sequence(44, 21);
+    let b = random_sequence(39, 22);
+    let problem = SmithWaterman::new(&a, &b);
+    let want = problem.solve_dense();
+    let program = SmithWaterman::program(8).unwrap();
+    for schedule in [Schedule::Static, Schedule::Mixed] {
+        for threads in THREAD_MATRIX {
+            let reduce = Reduction::max_i64();
+            let res = RunBuilder::<i64>::on_tiling(program.tiling(), &problem.params())
+                .threads(threads)
+                .priority(TilePriority::column_major(2))
+                .schedule(schedule)
+                .reduce(&reduce)
+                .run(&problem)
+                .unwrap();
+            let ctx = format!("sw threads={threads} schedule={schedule}");
+            assert_eq!(res.reduction, Some(want), "{ctx}");
+            let stats = &res.per_rank[0].stats;
+            assert_eq!(
+                stats.tiles_static + stats.tiles_dynamic,
+                stats.tiles_executed,
+                "{ctx}"
+            );
+            if stats.schedule == Schedule::Static {
+                assert_eq!(stats.steal_count, 0, "{ctx}: static runs must not steal");
+            }
         }
     }
 }

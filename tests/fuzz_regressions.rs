@@ -13,6 +13,7 @@
 
 use dpgen::codegen::emit_c;
 use dpgen::core::Program;
+use dpgen::runtime::Schedule;
 use dpgen_fuzz::{check_spec, full_matrix, load_corpus};
 use std::path::Path;
 
@@ -28,10 +29,20 @@ fn corpus() -> Vec<(std::path::PathBuf, dpgen::core::GeneratedSpec)> {
 }
 
 /// Every corpus spec agrees with the naive reference interpreter on
-/// every cell, across the whole thread x rank x fault matrix.
+/// every cell, across the whole thread x rank x fault x schedule matrix.
 #[test]
 fn corpus_specs_pass_the_differential_matrix() {
     let legs = full_matrix();
+    // The replay matrix must include the static-schedule legs: corpus
+    // bugs fixed under a Static or Mixed schedule stay covered forever.
+    assert_eq!(legs.len(), 12);
+    assert!(legs
+        .iter()
+        .any(|l| l.schedule == Schedule::Static && l.ranks == 1));
+    assert!(legs
+        .iter()
+        .any(|l| l.schedule == Schedule::Static && l.ranks == 2));
+    assert!(legs.iter().any(|l| l.schedule == Schedule::Mixed));
     for (path, gs) in corpus() {
         if let Err(failure) = check_spec(&gs, &legs) {
             panic!("{}: {failure}", path.display());

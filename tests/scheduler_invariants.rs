@@ -13,11 +13,11 @@
 use dpgen::core::RunBuilder;
 use dpgen::polyhedra::{ConstraintSystem, Space};
 use dpgen::runtime::sharded::{EdgeDelivery, ShardedScheduler};
-use dpgen::runtime::{MemoryStats, Probe, TilePriority};
+use dpgen::runtime::{MemoryStats, Probe, Schedule, StaticPlan, TilePriority};
 use dpgen::tiling::tiling::CellRef;
 use dpgen::tiling::{Coord, Template, TemplateSet, Tiling, TilingBuilder};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A random 2-D iteration space: a box with an optional diagonal cut,
@@ -138,6 +138,124 @@ proptest! {
         prop_assert_eq!(mem.current_pending_tiles(), 0);
         // Steal accounting stays within the pop count.
         prop_assert!(sched.steal_count() as usize <= tiles.len());
+    }
+
+    /// The precomputed static plan is a valid parallel schedule: every
+    /// member tile is dealt exactly once, each worker's sequence respects
+    /// the tile DAG (same-worker producers appear earlier), and executing
+    /// the plan — each cursor strictly front-to-back, dynamic boundary
+    /// tiles whenever ready — drains the whole tile set without deadlock.
+    /// `Static` covers exactly the tile set a dynamic run would execute,
+    /// while `Mixed` pins exactly the full-interior tiles.
+    #[test]
+    fn static_plan_is_a_topological_cover(
+        n in 3i64..16,
+        w1 in 1i64..6,
+        w2 in 1i64..6,
+        workers in 1usize..5,
+        a in 0i64..3,
+        b in 0i64..3,
+        mode in proptest::sample::select(vec![Schedule::Static, Schedule::Mixed]),
+    ) {
+        let cut = (a + b > 0).then_some((a, b, a + b + 1));
+        let Some(tiling) = build_tiling(cut, (w1, w2)) else { return Ok(()) };
+        let mut point = tiling.make_point(&[n]);
+        let mut tiles: Vec<Coord> = Vec::new();
+        tiling.for_each_tile(&mut point, |t| tiles.push(t));
+        let Some(plan) = StaticPlan::build(&tiling, &mut point, &tiles, workers, mode) else {
+            // Only Mixed may decline, and only when nothing is interior.
+            prop_assert_eq!(mode, Schedule::Mixed);
+            let full: u128 = (w1 * w2) as u128;
+            for t in &tiles {
+                prop_assert!(tiling.tile_cell_count(t, &mut point) < full);
+            }
+            return Ok(());
+        };
+        prop_assert_eq!(plan.mode(), mode);
+        prop_assert_eq!(plan.sequences().len(), workers);
+
+        // Every member exactly once across the sequences, and membership
+        // matches the mode.
+        let mut position: HashMap<Coord, (usize, usize)> = HashMap::new();
+        for (w, seq) in plan.sequences().iter().enumerate() {
+            for (pos, t) in seq.iter().enumerate() {
+                prop_assert!(position.insert(*t, (w, pos)).is_none(), "tile {} dealt twice", t);
+                prop_assert!(plan.is_member(t));
+            }
+        }
+        prop_assert_eq!(position.len(), plan.len());
+        let tile_set: HashSet<Coord> = tiles.iter().copied().collect();
+        let full: u128 = (w1 * w2) as u128;
+        for t in &tiles {
+            match mode {
+                Schedule::Static => prop_assert!(position.contains_key(t)),
+                Schedule::Mixed => prop_assert_eq!(
+                    position.contains_key(t),
+                    tiling.tile_cell_count(t, &mut point) == full,
+                    "mixed membership wrong for {}", t
+                ),
+                Schedule::Dynamic => unreachable!(),
+            }
+        }
+
+        // Per-worker topological order: a producer dealt to the same
+        // worker must appear earlier in that worker's sequence
+        // (producer = tile + delta here).
+        for (t, &(w, pos)) in &position {
+            for dep in tiling.deps() {
+                let producer = t.add(&dep.delta);
+                if let Some(&(pw, ppos)) = position.get(&producer) {
+                    if pw == w {
+                        prop_assert!(
+                            ppos < pos,
+                            "worker {} runs {} before its producer {}", w, t, producer
+                        );
+                    }
+                }
+            }
+        }
+
+        // Deadlock freedom, checked by direct execution: each cursor moves
+        // strictly front-to-back and only when every producer is executed;
+        // dynamic (non-member) tiles run whenever ready. The schedule is
+        // live iff this drains every tile in the space.
+        let mut executed: HashSet<Coord> = HashSet::new();
+        let mut cursors = vec![0usize; workers];
+        loop {
+            let mut progressed = false;
+            let ready = |t: &Coord, executed: &HashSet<Coord>| {
+                tiling.deps().iter().all(|dep| {
+                    let producer = t.add(&dep.delta);
+                    !tile_set.contains(&producer) || executed.contains(&producer)
+                })
+            };
+            for t in &tiles {
+                if !plan.is_member(t) && !executed.contains(t) && ready(t, &executed) {
+                    executed.insert(*t);
+                    progressed = true;
+                }
+            }
+            for (w, cursor) in cursors.iter_mut().enumerate() {
+                while let Some(t) = plan.sequence(w).get(*cursor) {
+                    if !ready(t, &executed) {
+                        break;
+                    }
+                    executed.insert(*t);
+                    *cursor += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        prop_assert_eq!(
+            executed.len(),
+            tiles.len(),
+            "static schedule deadlocked with {} of {} tiles executed",
+            executed.len(),
+            tiles.len()
+        );
     }
 
     /// The same invariants hold end-to-end through the real threaded
